@@ -1,0 +1,99 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench prints (a) what it reproduces, (b) the paper's qualitative
+// expectation, and (c) a TextTable of measured values, so the output can be
+// pasted into EXPERIMENTS.md and compared row by row.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper expectation: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Mean JCT over `seeds` paired runs of (bench, scheduler) on a fresh
+/// cluster from `make_cluster`. Pairing: seed s uses the same layout and
+/// interference draw for every scheduler.
+struct SweepPoint {
+  workloads::SchedulerKind kind;
+  MiB block_size;
+  std::string label;
+};
+
+struct SweepResult {
+  std::string label;
+  OnlineStats jct;
+  OnlineStats efficiency;
+  OnlineStats productivity;
+};
+
+/// Runs |points| × |seeds| simulations in parallel over a thread pool.
+inline std::vector<SweepResult> sweep(
+    const std::function<cluster::Cluster()>& make_cluster,
+    const workloads::Benchmark& bench, workloads::InputScale scale,
+    const std::vector<SweepPoint>& points,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<SweepResult> results(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].label = points[i].label;
+  }
+  std::mutex mutex;
+
+  struct WorkItem {
+    std::size_t point;
+    std::uint64_t seed;
+  };
+  std::vector<WorkItem> items;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const auto seed : seeds) items.push_back({i, seed});
+  }
+
+  static ThreadPool pool;  // shared across sweeps within one bench binary
+  pool.parallel_for_each(items.begin(), items.end(), [&](const WorkItem& w) {
+    auto cluster = make_cluster();
+    workloads::RunConfig config;
+    config.block_size = points[w.point].block_size;
+    config.params.seed = w.seed;
+    const auto result = workloads::run_job(cluster, bench, scale,
+                                           points[w.point].kind, config);
+    std::lock_guard lock(mutex);
+    results[w.point].jct.add(result.jct());
+    results[w.point].efficiency.add(result.efficiency());
+    results[w.point].productivity.add(result.mean_map_productivity());
+  });
+  return results;
+}
+
+/// The four comparison systems of Fig. 5 / Fig. 6.
+inline std::vector<SweepPoint> paper_comparison_points() {
+  using workloads::SchedulerKind;
+  return {
+      {SchedulerKind::kHadoop, kLargeBlockMiB, "Hadoop-128m"},
+      {SchedulerKind::kHadoop, kDefaultBlockMiB, "Hadoop-64m"},
+      {SchedulerKind::kSkewTune, kDefaultBlockMiB, "SkewTune-64m"},
+      {SchedulerKind::kFlexMap, kDefaultBlockMiB, "FlexMap"},
+  };
+}
+
+inline std::vector<std::uint64_t> default_seeds(std::size_t n = 5) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < n; ++i) seeds.push_back(1000 + 17 * i);
+  return seeds;
+}
+
+}  // namespace flexmr::bench

@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: the
+// event queue, the block-location index (LTB's inner loop), speed
+// monitoring, and a whole end-to-end simulation as a macro number.
+#include <benchmark/benchmark.h>
+
+#include "cluster/presets.hpp"
+#include "flexmap/speed_monitor.hpp"
+#include "hdfs/block_index.hpp"
+#include "hdfs/namenode.hpp"
+#include "simcore/simulator.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<SimTime>(i % 97), [&fired]() { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_EventCancellation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(sim.schedule_at(1.0, []() {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) sim.cancel(ids[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventCancellation)->Arg(1 << 14);
+
+void BM_BlockIndexTakeLocal(benchmark::State& state) {
+  // 256 GB at 8 MB BUs on 39 nodes: the fig8-scale index.
+  Rng rng(7);
+  hdfs::NameNode nn(39, hdfs::PlacementPolicy::kRandom, rng);
+  const auto layout = nn.create_file(gib_to_mib(64), 64.0, 3);
+  for (auto _ : state) {
+    hdfs::BlockLocationIndex index(layout, 39);
+    NodeId node = 0;
+    while (index.unprocessed() > 0) {
+      auto taken = index.take_local(node, 16);
+      if (taken.empty()) taken = index.take_remote(node, 16);
+      benchmark::DoNotOptimize(taken.size());
+      node = (node + 1) % 39;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(layout.bus.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BlockIndexTakeLocal);
+
+void BM_SpeedMonitorUpdateQuery(benchmark::State& state) {
+  flexmap::SpeedMonitor monitor(40);
+  Rng rng(3);
+  for (auto _ : state) {
+    for (NodeId n = 0; n < 40; ++n) {
+      monitor.update(n, rng.uniform(1.0, 20.0));
+    }
+    benchmark::DoNotOptimize(monitor.slowest());
+    benchmark::DoNotOptimize(monitor.fastest());
+    for (NodeId n = 0; n < 40; ++n) {
+      benchmark::DoNotOptimize(monitor.relative_speed(n));
+    }
+  }
+}
+BENCHMARK(BM_SpeedMonitorUpdateQuery);
+
+void BM_FullSimulation(benchmark::State& state) {
+  const auto kind = static_cast<workloads::SchedulerKind>(state.range(0));
+  for (auto _ : state) {
+    auto cluster = cluster::presets::physical12();
+    workloads::RunConfig config;
+    config.params.seed = 11;
+    const auto result =
+        workloads::run_job(cluster, workloads::benchmark("WC"),
+                           workloads::InputScale::kSmall, kind, config);
+    benchmark::DoNotOptimize(result.jct());
+  }
+}
+BENCHMARK(BM_FullSimulation)
+    ->Arg(static_cast<int>(workloads::SchedulerKind::kHadoop))
+    ->Arg(static_cast<int>(workloads::SchedulerKind::kFlexMap))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace flexmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces §IV-D (Overhead): FlexMap vs stock Hadoop on a 6-node
+// *homogeneous* cluster, where horizontal scaling is effectively disabled
+// and any JCT difference is pure vertical-scaling overhead (running early
+// waves with suboptimal sizes).
+//
+// Paper: FlexMap incurs a negligible ~5% penalty.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "cluster/presets.hpp"
+
+int main() {
+  using namespace flexmr;
+  using workloads::SchedulerKind;
+  bench::print_header(
+      "§IV-D Overhead: wordcount on a 6-node homogeneous cluster",
+      "FlexMap's vertical-scaling ramp costs only ~5% vs stock Hadoop");
+
+  TextTable table({"System", "JCT (s)", "vs Hadoop-64m", "Efficiency",
+                   "Map tasks"});
+  const auto seeds = bench::default_seeds(7);
+  double base = 0;
+  for (const auto kind :
+       {SchedulerKind::kHadoopNoSpec, SchedulerKind::kFlexMap}) {
+    OnlineStats jct;
+    OnlineStats eff;
+    OnlineStats tasks;
+    for (const auto seed : seeds) {
+      auto cluster = cluster::presets::homogeneous6();
+      workloads::RunConfig config;
+      config.params.seed = seed;
+      const auto result =
+          workloads::run_job(cluster, workloads::benchmark("WC"),
+                             workloads::InputScale::kSmall, kind, config);
+      jct.add(result.jct());
+      eff.add(result.efficiency());
+      tasks.add(static_cast<double>(result.map_tasks_launched()));
+    }
+    if (base == 0) base = jct.mean();
+    table.add_row({workloads::scheduler_label(kind),
+                   TextTable::num(jct.mean(), 1),
+                   TextTable::num((jct.mean() / base - 1.0) * 100, 1) + "%",
+                   TextTable::num(eff.mean()),
+                   TextTable::num(tasks.mean(), 0)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

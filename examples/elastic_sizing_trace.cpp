@@ -1,0 +1,74 @@
+// Scenario: watch FlexMap think.
+//
+// Runs one job on the virtual cluster with a FlexMapScheduler instance we
+// keep hold of, then prints the full sizing trace — every completed
+// elastic task's size and productivity — plus each node's final size unit
+// and what the SpeedMonitor believed about it.
+#include <cstdio>
+
+#include "cluster/presets.hpp"
+#include "common/table.hpp"
+#include "flexmap/flexmap_scheduler.hpp"
+#include "workloads/experiment.hpp"
+
+int main() {
+  using namespace flexmr;
+
+  auto cluster = cluster::presets::virtual20();
+  auto bench = workloads::benchmark("GR");
+  bench.small_input = gib_to_mib(8);
+
+  flexmap::FlexMapScheduler scheduler;
+  workloads::RunConfig config;
+  config.params.seed = 31;
+  const auto result = workloads::run_job(
+      cluster, bench, workloads::InputScale::kSmall, scheduler, config);
+
+  std::printf("grep on the 20-node virtual cluster under FlexMap: "
+              "JCT %.1fs, efficiency %.2f, %zu map tasks\n\n",
+              result.jct(), result.efficiency(),
+              result.map_tasks_launched());
+
+  // Sizing decisions over time, bucketed by map-phase decile.
+  std::printf("task sizes by map-phase progress (all nodes):\n");
+  TextTable buckets({"progress", "tasks", "mean size (BUs)",
+                     "max size (BUs)", "mean productivity"});
+  for (int decile = 0; decile < 10; ++decile) {
+    OnlineStats size;
+    OnlineStats prod;
+    std::uint32_t max_size = 0;
+    for (const auto& point : scheduler.sizing_trace()) {
+      const int bucket = std::min(9, static_cast<int>(
+                                         point.phase_progress * 10.0));
+      if (bucket != decile) continue;
+      size.add(point.size_bus);
+      prod.add(point.productivity);
+      max_size = std::max(max_size, point.size_bus);
+    }
+    if (size.empty()) continue;
+    buckets.add_row({std::to_string(decile * 10) + "-" +
+                         std::to_string(decile * 10 + 10) + "%",
+                     std::to_string(size.count()),
+                     TextTable::num(size.mean(), 1),
+                     std::to_string(max_size),
+                     TextTable::num(prod.mean(), 2)});
+  }
+  std::printf("%s\n", buckets.str().c_str());
+
+  // What the monitor concluded about each node vs ground truth.
+  std::printf("per-node: observed vs true speed, final size unit:\n");
+  TextTable nodes({"node", "true IPS", "observed IPS", "size unit (BUs)",
+                   "frozen"});
+  const auto& monitor = scheduler.speed_monitor();
+  const auto& sizer = scheduler.sizer();
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    const auto observed = monitor.get_speed(n);
+    nodes.add_row({std::to_string(n),
+                   TextTable::num(cluster.machine(n).effective_ips(), 1),
+                   observed ? TextTable::num(*observed, 1) : "-",
+                   std::to_string(sizer.size_unit(n)),
+                   sizer.frozen(n) ? "yes" : "no"});
+  }
+  std::printf("%s", nodes.str().c_str());
+  return 0;
+}

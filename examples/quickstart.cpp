@@ -1,0 +1,55 @@
+// Quickstart: simulate one wordcount job on a small heterogeneous cluster
+// under stock Hadoop and under FlexMap, and compare.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "workloads/experiment.hpp"
+
+int main() {
+  using namespace flexmr;
+
+  // 1. Describe the hardware: three fast and three slow worker nodes.
+  //    (Or use a paper preset from cluster/presets.hpp.)
+  auto make_cluster = []() {
+    cluster::MachineSpec fast{.model = "fast server", .base_ips = 12.0,
+                              .slots = 4, .nic_bandwidth = 1192.0,
+                              .memory_gb = 32.0};
+    cluster::MachineSpec slow{.model = "old desktop", .base_ips = 4.0,
+                              .slots = 4, .nic_bandwidth = 1192.0,
+                              .memory_gb = 8.0};
+    return cluster::ClusterBuilder().add(fast, 3).add(slow, 3).build();
+  };
+
+  // 2. Pick a workload. The PUMA table ships with the library; here we
+  //    shrink wordcount's input so the example runs instantly.
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = gib_to_mib(4);
+
+  // 3. Run the same job (same seed → same data layout, same interference)
+  //    under each scheduler.
+  std::printf("%-14s %10s %12s %12s %10s\n", "scheduler", "JCT(s)",
+              "map-phase(s)", "efficiency", "maps");
+  for (const auto kind :
+       {workloads::SchedulerKind::kHadoop,
+        workloads::SchedulerKind::kSkewTune,
+        workloads::SchedulerKind::kFlexMap}) {
+    auto cluster = make_cluster();
+    workloads::RunConfig config;
+    config.block_size = kDefaultBlockMiB;  // 64 MB splits for stock
+    config.params.seed = 2024;
+    const auto result = workloads::run_job(
+        cluster, bench, workloads::InputScale::kSmall, kind, config);
+    std::printf("%-14s %10.1f %12.1f %12.3f %10zu\n",
+                workloads::scheduler_label(kind).c_str(), result.jct(),
+                result.map_phase_runtime(), result.efficiency(),
+                result.map_tasks_launched());
+  }
+  std::printf("\nFlexMap should show the lowest JCT and highest efficiency:"
+              "\nelastic tasks give the fast servers proportionally more "
+              "data\ninstead of making them wait on the desktops.\n");
+  return 0;
+}

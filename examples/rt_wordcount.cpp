@@ -1,0 +1,64 @@
+// Scenario: elastic tasks on a *real* (threaded) MapReduce runtime.
+//
+// Generates a text dataset, then runs wordcount on 6 worker threads — two
+// of them throttled to 25% speed — first with fixed-size tasks (the stock
+// Hadoop model), then with FlexMap-style late-bound elastic tasks, and
+// compares wall-clock map time, task counts, and the per-worker chunk
+// distribution. Outputs are verified identical.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "rt/engine.hpp"
+
+int main() {
+  using namespace flexmr;
+  using namespace flexmr::rt;
+
+  const auto dataset = Dataset::generate_text(/*num_chunks=*/384,
+                                              /*chunk_bytes=*/16 * 1024,
+                                              /*seed=*/11);
+  std::printf("dataset: %zu chunks, %.1f MB of text\n", dataset.num_chunks(),
+              static_cast<double>(dataset.total_bytes()) / 1e6);
+
+  const std::vector<WorkerSpec> workers = {{1.0}, {1.0}, {1.0}, {1.0},
+                                           {0.25}, {0.25}};
+  EngineConfig config;
+  config.task_startup = std::chrono::microseconds{4000};
+  MapReduceEngine engine(workers, config);
+
+  const auto fixed = engine.run_fixed(dataset, wordcount_map(),
+                                      sum_reduce(), /*chunks_per_task=*/8);
+  const auto elastic =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+
+  if (fixed.output != elastic.output) {
+    std::fprintf(stderr, "output mismatch between drivers!\n");
+    return 1;
+  }
+
+  TextTable table({"driver", "map wall (s)", "tasks", "mean task size",
+                   "fast-worker chunks", "slow-worker chunks"});
+  auto row = [&](const char* label, const RtResult& result) {
+    std::size_t fast = 0;
+    std::size_t slow = 0;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      (workers[w].speed < 1.0 ? slow : fast) +=
+          result.chunks_per_worker[w];
+    }
+    table.add_row({label, TextTable::num(result.map_wall_seconds, 3),
+                   std::to_string(result.map_tasks()),
+                   TextTable::num(result.mean_task_chunks(), 1),
+                   std::to_string(fast), std::to_string(slow)});
+  };
+  row("fixed (stock)", fixed);
+  row("elastic (FlexMap)", elastic);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("outputs identical: %zu distinct words; e.g. w0 -> %lld\n",
+              elastic.output.size(),
+              static_cast<long long>(elastic.output.at("w0")));
+  std::printf("\nElastic should finish the map phase faster: the throttled "
+              "workers\nreceive fewer chunks per task while fast workers "
+              "grow theirs,\nso nobody idles waiting for a straggler.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: several jobs share one heterogeneous cluster.
+//
+// Submits three jobs to the paper's physical cluster — a wordcount under
+// stock Hadoop at t=0, a grep under FlexMap at t=10, and a tera-sort
+// under stock at t=20 — and runs them under FIFO and under fair sharing.
+// Different AM schedulers coexist: slot arbitration is the coordinator's
+// job, sizing is each job's own (exactly YARN's RM/AM split).
+#include <cstdio>
+
+#include "cluster/presets.hpp"
+#include "common/table.hpp"
+#include "mr/multi_job.hpp"
+#include "workloads/experiment.hpp"
+
+namespace {
+
+void run(flexmr::mr::SharePolicy policy, const char* label) {
+  using namespace flexmr;
+
+  auto cluster = cluster::presets::physical12();
+  Simulator sim;
+  mr::MultiJobCoordinator coordinator(sim, cluster, policy);
+
+  struct Submission {
+    const char* code;
+    workloads::SchedulerKind kind;
+    SimTime at;
+  };
+  const Submission plan[] = {
+      {"WC", workloads::SchedulerKind::kHadoop, 0.0},
+      {"GR", workloads::SchedulerKind::kFlexMap, 10.0},
+      {"TS", workloads::SchedulerKind::kHadoop, 20.0},
+  };
+
+  std::vector<hdfs::FileLayout> layouts;
+  std::vector<std::unique_ptr<mr::Scheduler>> schedulers;
+  layouts.reserve(3);
+  std::uint64_t seed = 100;
+  for (const auto& submission : plan) {
+    auto bench = workloads::benchmark(submission.code);
+    bench.small_input = gib_to_mib(4);
+    layouts.push_back(workloads::make_layout(
+        bench, workloads::InputScale::kSmall, cluster.num_nodes(), 64.0, 3,
+        seed++));
+    schedulers.push_back(
+        workloads::make_scheduler(submission.kind, seed));
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto bench = workloads::benchmark(plan[j].code);
+    bench.small_input = gib_to_mib(4);
+    coordinator.submit(layouts[j],
+                       workloads::to_job_spec(
+                           bench, workloads::InputScale::kSmall),
+                       mr::SimParams{}, *schedulers[j], plan[j].at);
+  }
+
+  const auto results = coordinator.run_all();
+  std::printf("\n=== %s ===\n", label);
+  TextTable table({"job", "scheduler", "submitted", "finished", "JCT (s)",
+                   "map tasks"});
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    table.add_row({plan[j].code, workloads::scheduler_label(plan[j].kind),
+                   TextTable::num(results[j].submit_time, 0) + "s",
+                   TextTable::num(results[j].finish_time, 0) + "s",
+                   TextTable::num(results[j].jct(), 1),
+                   std::to_string(results[j].map_tasks_launched())});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  run(flexmr::mr::SharePolicy::kFifo, "FIFO arbitration");
+  run(flexmr::mr::SharePolicy::kFair, "fair sharing");
+  std::printf(
+      "\nUnder FIFO the wordcount monopolizes the cluster until its maps\n"
+      "drain; under fair sharing the later jobs start immediately and\n"
+      "everyone's JCT evens out.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr::cluster {
+
+std::uint32_t Cluster::total_slots() const {
+  std::uint32_t total = 0;
+  for (const auto& machine : machines_) total += machine->slots();
+  return total;
+}
+
+void Cluster::start(Simulator& sim, Rng& rng) {
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    interference_[i]->start(sim, *machines_[i], rng);
+  }
+}
+
+void Cluster::reset() {
+  for (auto& machine : machines_) {
+    machine->clear_speed_listeners();
+    machine->set_multiplier(1.0);
+  }
+}
+
+MiBps Cluster::fastest_ips() const {
+  FLEXMR_ASSERT(!machines_.empty());
+  MiBps best = 0.0;
+  for (const auto& machine : machines_) {
+    best = std::max(best, machine->effective_ips());
+  }
+  return best;
+}
+
+MiBps Cluster::slowest_ips() const {
+  FLEXMR_ASSERT(!machines_.empty());
+  MiBps worst = machines_.front()->effective_ips();
+  for (const auto& machine : machines_) {
+    worst = std::min(worst, machine->effective_ips());
+  }
+  return worst;
+}
+
+ClusterBuilder& ClusterBuilder::add(MachineSpec spec, std::uint32_t count,
+                                    InterferenceFactory factory) {
+  FLEXMR_ASSERT(count > 0);
+  groups_.push_back(Group{std::move(spec), count, std::move(factory)});
+  return *this;
+}
+
+Cluster ClusterBuilder::build() {
+  Cluster cluster;
+  NodeId id = 0;
+  for (const auto& group : groups_) {
+    for (std::uint32_t i = 0; i < group.count; ++i) {
+      cluster.machines_.push_back(std::make_unique<Machine>(id++, group.spec));
+      cluster.interference_.push_back(group.factory());
+    }
+  }
+  FLEXMR_ASSERT_MSG(!cluster.machines_.empty(), "cluster has no machines");
+  return cluster;
+}
+
+}  // namespace flexmr::cluster

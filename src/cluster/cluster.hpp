@@ -1,0 +1,73 @@
+// A cluster of worker machines plus their interference models.
+//
+// Following the paper's setup, the RM/NameNode master is *not* modeled as a
+// worker: a Cluster contains only the nodes that run HDFS and MapReduce
+// containers. Build one with ClusterBuilder, then call start(sim, rng) once
+// per simulation to arm the interference models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/interference.hpp"
+#include "cluster/machine.hpp"
+#include "common/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace flexmr::cluster {
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(machines_.size());
+  }
+
+  Machine& machine(NodeId id) { return *machines_[id]; }
+  const Machine& machine(NodeId id) const { return *machines_[id]; }
+
+  std::uint32_t total_slots() const;
+
+  /// Arms every machine's interference model on `sim`.
+  void start(Simulator& sim, Rng& rng);
+
+  /// Removes all per-run state (speed listeners) so the cluster object can
+  /// be reused across simulations. Multipliers reset to 1.
+  void reset();
+
+  /// Ground-truth per-container speeds (used by presets/tests and by the
+  /// oracle ablation, never by the schedulers under test).
+  MiBps fastest_ips() const;
+  MiBps slowest_ips() const;
+
+ private:
+  friend class ClusterBuilder;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<InterferenceModel>> interference_;
+};
+
+class ClusterBuilder {
+ public:
+  /// Adds `count` machines of the given spec, each with a fresh
+  /// interference model from `factory`.
+  ClusterBuilder& add(MachineSpec spec, std::uint32_t count,
+                      InterferenceFactory factory = no_interference());
+
+  Cluster build();
+
+ private:
+  struct Group {
+    MachineSpec spec;
+    std::uint32_t count;
+    InterferenceFactory factory;
+  };
+  std::vector<Group> groups_;
+};
+
+}  // namespace flexmr::cluster

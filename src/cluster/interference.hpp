@@ -1,0 +1,173 @@
+// Interference models: how a machine's speed multiplier evolves over
+// simulated time. These stand in for the performance variation the paper
+// observed on its clusters:
+//   - None            → dedicated physical machine,
+//   - StaticSlowdown  → a co-running CPU-intensive tenant for the whole job
+//                       (the paper's 40-node multi-tenant setup, §IV-F),
+//   - OnOff           → bursty VM interference in a shared cloud (§II-B:
+//                       "hotspots may change during the job execution"),
+//   - RandomWalk      → slowly drifting contention.
+//
+// A model installs its own events on the Simulator and drives
+// Machine::set_multiplier, which fans out to running-task listeners.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "common/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace flexmr::cluster {
+
+class InterferenceModel {
+ public:
+  virtual ~InterferenceModel() = default;
+  /// Begins driving `machine`'s multiplier. Called once at simulation start.
+  virtual void start(Simulator& sim, Machine& machine, Rng& rng) = 0;
+};
+
+/// Dedicated machine: multiplier stays at 1.
+class NoInterference final : public InterferenceModel {
+ public:
+  void start(Simulator&, Machine& machine, Rng&) override {
+    machine.set_multiplier(1.0);
+  }
+};
+
+/// A constant slowdown for the whole run: multiplier = `factor`.
+class StaticSlowdown final : public InterferenceModel {
+ public:
+  explicit StaticSlowdown(double factor) : factor_(factor) {
+    FLEXMR_ASSERT(factor > 0.0 && factor <= 1.0);
+  }
+  void start(Simulator&, Machine& machine, Rng&) override {
+    machine.set_multiplier(factor_);
+  }
+
+ private:
+  double factor_;
+};
+
+/// Alternates between idle (multiplier 1) and busy (multiplier sampled in
+/// [busy_lo, busy_hi]) phases with exponentially distributed durations.
+class OnOffInterference final : public InterferenceModel {
+ public:
+  struct Params {
+    double mean_idle_s = 120.0;  ///< Mean idle-phase duration.
+    double mean_busy_s = 60.0;   ///< Mean busy-phase duration.
+    double busy_lo = 0.15;       ///< Worst-case multiplier when busy.
+    double busy_hi = 0.5;        ///< Best-case multiplier when busy.
+    bool start_busy = false;
+  };
+
+  explicit OnOffInterference(Params params) : params_(params) {
+    FLEXMR_ASSERT(params.busy_lo > 0.0 && params.busy_lo <= params.busy_hi &&
+                  params.busy_hi <= 1.0);
+    FLEXMR_ASSERT(params.mean_idle_s > 0.0 && params.mean_busy_s > 0.0);
+  }
+
+  void start(Simulator& sim, Machine& machine, Rng& rng) override;
+
+ private:
+  void enter_idle(Simulator& sim, Machine& machine);
+  void enter_busy(Simulator& sim, Machine& machine);
+
+  Params params_;
+  Rng rng_;
+};
+
+/// Multiplier performs a bounded random walk: every `step_period_s` it
+/// moves by a normal step and is clamped into [floor, 1].
+class RandomWalkInterference final : public InterferenceModel {
+ public:
+  struct Params {
+    double step_period_s = 20.0;
+    double step_stddev = 0.1;
+    double floor = 0.2;
+    double start = 1.0;
+  };
+
+  explicit RandomWalkInterference(Params params) : params_(params) {
+    FLEXMR_ASSERT(params.floor > 0.0 && params.floor <= 1.0);
+    FLEXMR_ASSERT(params.start >= params.floor && params.start <= 1.0);
+    FLEXMR_ASSERT(params.step_period_s > 0.0);
+  }
+
+  void start(Simulator& sim, Machine& machine, Rng& rng) override;
+
+ private:
+  void step(Simulator& sim, Machine& machine);
+
+  Params params_;
+  Rng rng_;
+  double value_ = 1.0;
+};
+
+/// Replays an explicit (time, multiplier) schedule — the way to model a
+/// measured contention trace, and the fully-reproducible option for tests
+/// (no RNG involved). Times must be non-decreasing.
+class TraceInterference final : public InterferenceModel {
+ public:
+  struct Point {
+    SimTime time;
+    double multiplier;
+  };
+
+  explicit TraceInterference(std::vector<Point> points)
+      : points_(std::move(points)) {
+    SimTime last = 0.0;
+    for (const auto& point : points_) {
+      FLEXMR_ASSERT(point.time >= last);
+      FLEXMR_ASSERT(point.multiplier > 0.0 && point.multiplier <= 1.0);
+      last = point.time;
+    }
+  }
+
+  void start(Simulator& sim, Machine& machine, Rng&) override {
+    for (const auto& point : points_) {
+      if (point.time <= sim.now()) {
+        machine.set_multiplier(point.multiplier);
+        continue;
+      }
+      Machine* target = &machine;
+      const double multiplier = point.multiplier;
+      sim.schedule_at(point.time, [target, multiplier]() {
+        target->set_multiplier(multiplier);
+      });
+    }
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Factory signature used by ClusterBuilder: one fresh model per machine.
+using InterferenceFactory = std::function<std::unique_ptr<InterferenceModel>()>;
+
+inline InterferenceFactory no_interference() {
+  return []() { return std::make_unique<NoInterference>(); };
+}
+
+inline InterferenceFactory static_slowdown(double factor) {
+  return [factor]() { return std::make_unique<StaticSlowdown>(factor); };
+}
+
+inline InterferenceFactory on_off_interference(OnOffInterference::Params p) {
+  return [p]() { return std::make_unique<OnOffInterference>(p); };
+}
+
+inline InterferenceFactory random_walk_interference(
+    RandomWalkInterference::Params p) {
+  return [p]() { return std::make_unique<RandomWalkInterference>(p); };
+}
+
+inline InterferenceFactory trace_interference(
+    std::vector<TraceInterference::Point> points) {
+  return [points]() {
+    return std::make_unique<TraceInterference>(points);
+  };
+}
+
+}  // namespace flexmr::cluster

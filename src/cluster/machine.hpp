@@ -1,0 +1,68 @@
+// Machine model.
+//
+// A machine has a static per-container base processing speed (MiB/s of
+// reference-workload input) and a time-varying multiplier in (0, 1] driven
+// by an interference model. Speed changes notify registered listeners so
+// running tasks can re-integrate their progress (see RateIntegrator).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::cluster {
+
+struct MachineSpec {
+  std::string model = "generic";
+  /// Per-container input processing speed for a cost-1.0 workload, MiB/s.
+  MiBps base_ips = 10.0;
+  /// Concurrent containers (YARN slots).
+  std::uint32_t slots = 4;
+  /// NIC bandwidth available to this node, MiB/s (10 GbE ≈ 1192 MiB/s).
+  MiBps nic_bandwidth = 1192.0;
+  /// Descriptive only (Table I fidelity).
+  double memory_gb = 16.0;
+};
+
+class Machine {
+ public:
+  /// Called with (node, new effective per-container IPS) on speed changes.
+  using SpeedListener = std::function<void(NodeId, MiBps)>;
+
+  Machine(NodeId id, MachineSpec spec) : id_(id), spec_(std::move(spec)) {
+    FLEXMR_ASSERT(spec_.base_ips > 0 && spec_.slots > 0);
+  }
+
+  NodeId id() const { return id_; }
+  const MachineSpec& spec() const { return spec_; }
+  std::uint32_t slots() const { return spec_.slots; }
+
+  double multiplier() const { return multiplier_; }
+  MiBps effective_ips() const { return spec_.base_ips * multiplier_; }
+
+  /// Sets the interference multiplier and notifies listeners. Multiplier
+  /// must be in (0, 1]: interference can only slow a machine down.
+  void set_multiplier(double m) {
+    FLEXMR_ASSERT(m > 0.0 && m <= 1.0);
+    if (m == multiplier_) return;
+    multiplier_ = m;
+    for (const auto& listener : listeners_) listener(id_, effective_ips());
+  }
+
+  void add_speed_listener(SpeedListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  void clear_speed_listeners() { listeners_.clear(); }
+
+ private:
+  NodeId id_;
+  MachineSpec spec_;
+  double multiplier_ = 1.0;
+  std::vector<SpeedListener> listeners_;
+};
+
+}  // namespace flexmr::cluster

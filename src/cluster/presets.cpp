@@ -1,0 +1,129 @@
+#include "cluster/presets.hpp"
+
+#include "common/rng.hpp"
+
+namespace flexmr::cluster::presets {
+
+namespace {
+
+// Table I machine classes. Hadoop's cluster-wide container configuration
+// is uniform (the paper's point: "most MapReduce implementations assume a
+// homogeneous cluster"), so every node runs the same number of containers
+// and heterogeneity is carried entirely by per-container speed. Base IPS
+// values are relative per-container map throughputs (MiB/s of wordcount
+// input) calibrated so the slowest map runs ~2-3x the fastest (Fig. 1a):
+// the dual-core OptiPlex desktops are heavily oversubscribed at 4
+// containers while the multi-core servers are not. The OptiPlex class
+// dominates the cluster by count (7 of 12 in Table I) — "slow nodes may
+// account for nearly 50% of total nodes" (§IV-B).
+// Calibration: nominal CPU specs alone would put the OptiPlex desktops at
+// ~0.4 of the T430's per-container speed, but the paper's measured stock
+// efficiency (Fig. 6: ~0.4-0.65) and its ">50% slowdown vs. an all-slow
+// homogeneous cluster" (§II-B) imply a much larger *effective* disparity —
+// the 8 GB desktops run 4 containers plus DataNode under memory and disk
+// pressure. We set the effective per-container ratio to ~4.5x, which
+// reproduces the paper's stock-Hadoop efficiency band.
+MachineSpec t320() {
+  return {.model = "PowerEdge T320", .base_ips = 11.0, .slots = 4,
+          .nic_bandwidth = 1192.0, .memory_gb = 24.0};
+}
+MachineSpec t430() {
+  return {.model = "PowerEdge T430", .base_ips = 14.0, .slots = 4,
+          .nic_bandwidth = 1192.0, .memory_gb = 128.0};
+}
+MachineSpec t110() {
+  return {.model = "PowerEdge T110", .base_ips = 7.0, .slots = 4,
+          .nic_bandwidth = 1192.0, .memory_gb = 16.0};
+}
+MachineSpec optiplex990() {
+  return {.model = "OptiPlex 990", .base_ips = 3.0, .slots = 4,
+          .nic_bandwidth = 1192.0, .memory_gb = 8.0};
+}
+
+}  // namespace
+
+Cluster physical12() {
+  // 12 machines total; one OptiPlex serves as RM/NameNode, leaving 11
+  // workers: 2x T320, 1x T430, 2x T110, 6x OptiPlex.
+  return ClusterBuilder()
+      .add(t320(), 2)
+      .add(t430(), 1)
+      .add(t110(), 2)
+      .add(optiplex990(), 6)
+      .build();
+}
+
+Cluster virtual20(std::uint64_t seed) {
+  // 19 worker VMs, 4 vCPUs / 4 GB each on shared blades (§IV-A). A subset
+  // of VMs sits on contended hosts: Fig. 1b shows ~20% of map tasks running
+  // ~5x slower, and Fig. 7(c,d) shows the contended nodes staying slow for
+  // the duration of a job (the slow node finishes at 2 BUs). We model that
+  // with 4 of 19 VMs statically dilated ~5x (a co-located noisy tenant) and
+  // the rest under light bursty interference whose episodes are long
+  // relative to task durations.
+  MachineSpec vm{.model = "vSphere VM (4 vCPU)", .base_ips = 10.0,
+                 .slots = 4, .nic_bandwidth = 1192.0, .memory_gb = 4.0};
+
+  OnOffInterference::Params light;
+  light.mean_idle_s = 120.0;
+  light.mean_busy_s = 90.0;
+  light.busy_lo = 0.35;
+  light.busy_hi = 0.8;
+
+  // Interference models split their own streams from the per-run RNG, so
+  // `seed` only selects which nodes are the contended ones (fixed: the
+  // first 5 — node identity is immaterial under uniform specs).
+  (void)seed;
+  return ClusterBuilder()
+      .add(vm, 3, static_slowdown(0.15))
+      .add(vm, 2, static_slowdown(0.3))
+      .add(vm, 14, on_off_interference(light))
+      .build();
+}
+
+Cluster multitenant40(double slow_fraction, double slow_multiplier,
+                      std::uint64_t seed) {
+  FLEXMR_ASSERT(slow_fraction >= 0.0 && slow_fraction <= 1.0);
+  // 39 workers, 2x Xeon E5-2640 / 128 GB, 10 GbE (§IV-A). The paper creates
+  // "5%, 10%, 20%, 40% heterogeneity by co-running CPU-intensive background
+  // jobs": a fixed fraction of nodes is statically slowed for the run.
+  MachineSpec xeon{.model = "2x Xeon E5-2640", .base_ips = 11.0, .slots = 8,
+                   .nic_bandwidth = 1192.0, .memory_gb = 128.0};
+  constexpr std::uint32_t kWorkers = 39;
+  const auto slow =
+      static_cast<std::uint32_t>(slow_fraction * kWorkers + 0.5);
+  (void)seed;  // node identity is immaterial under uniform specs
+  ClusterBuilder builder;
+  if (slow > 0) builder.add(xeon, slow, static_slowdown(slow_multiplier));
+  if (slow < kWorkers) builder.add(xeon, kWorkers - slow);
+  return builder.build();
+}
+
+Cluster homogeneous6() {
+  MachineSpec node{.model = "homogeneous worker", .base_ips = 10.0,
+                   .slots = 4, .nic_bandwidth = 1192.0, .memory_gb = 16.0};
+  return ClusterBuilder().add(node, 6).build();
+}
+
+Cluster heterogeneous6() {
+  // Scaled-down mix of the physical cluster's classes: Fig. 3d needs a
+  // pronounced fast/slow split so the JCT-vs-task-size curve is U-shaped.
+  return ClusterBuilder()
+      .add(t430(), 1)
+      .add(t320(), 1)
+      .add(optiplex990(), 4)
+      .build();
+}
+
+Cluster tiny3() {
+  // Fig. 2: two slow nodes and one fast node, capacity ratio 1:1:3. The
+  // fast node gets 3x the per-container speed at equal slot count so the
+  // ratio is purely a speed ratio, as in the figure.
+  MachineSpec slow{.model = "slow", .base_ips = 5.0, .slots = 2,
+                   .nic_bandwidth = 1192.0, .memory_gb = 8.0};
+  MachineSpec fast{.model = "fast", .base_ips = 15.0, .slots = 2,
+                   .nic_bandwidth = 1192.0, .memory_gb = 8.0};
+  return ClusterBuilder().add(slow, 2).add(fast, 1).build();
+}
+
+}  // namespace flexmr::cluster::presets

@@ -1,0 +1,36 @@
+// Cluster presets reproducing the paper's three testbeds plus the two
+// 6-node study clusters from §II-C. See each function's comment for how the
+// preset was calibrated against the paper's own measurements.
+#pragma once
+
+#include "cluster/cluster.hpp"
+
+namespace flexmr::cluster::presets {
+
+/// Table I: 12-node physical cluster (one node is RM/NameNode, so 11
+/// workers). Per-container speeds are calibrated so the slowest map runs
+/// about 2x longer than the fastest (Fig. 1a).
+Cluster physical12();
+
+/// §II-B / §IV-A: 20-node virtual cluster (19 workers, 4 vCPU each) in a
+/// university cloud. Roughly 20 % of nodes suffer bursty interference that
+/// dilates tasks up to ~5x (Fig. 1b).
+Cluster virtual20(std::uint64_t seed = 7);
+
+/// §IV-F: 40-node multi-tenant cluster (39 workers). `slow_fraction` of the
+/// workers co-run a CPU-intensive background tenant for the whole job,
+/// which cuts their effective speed to `slow_multiplier`.
+Cluster multitenant40(double slow_fraction, double slow_multiplier = 0.35,
+                      std::uint64_t seed = 11);
+
+/// §II-C Fig. 3b,c and §IV-D: 6-node homogeneous cluster.
+Cluster homogeneous6();
+
+/// §II-C Fig. 3d: 6-node heterogeneous cluster (same hardware classes as
+/// the physical cluster, scaled down).
+Cluster heterogeneous6();
+
+/// Fig. 2's didactic 3-node cluster with capacity ratio 1:1:3.
+Cluster tiny3();
+
+}  // namespace flexmr::cluster::presets

@@ -1,0 +1,48 @@
+// Small INI-style configuration reader.
+//
+// Examples and ad-hoc experiments can describe a cluster/workload in a flat
+// `[section] key = value` file instead of recompiling. Lines starting with
+// '#' or ';' are comments. Keys are addressed as "section.key"; keys before
+// any section header live in the "" section and are addressed bare.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace flexmr {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses INI text. Throws ConfigError on malformed lines.
+  static Config parse(std::string_view text);
+
+  /// Loads and parses a file. Throws ConfigError if unreadable.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required-key variants throw ConfigError when absent or malformed.
+  std::string require_string(const std::string& key) const;
+  double require_double(const std::string& key) const;
+  long require_int(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,48 @@
+// Assertion and error-reporting helpers.
+//
+// FLEXMR_ASSERT is active in all build types: simulator invariants (e.g.
+// exactly-once block-unit accounting) guard result validity, so violating
+// them must abort the run rather than silently corrupt an experiment.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flexmr {
+
+/// Thrown when a simulator invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on invalid user-supplied configuration.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace flexmr
+
+#define FLEXMR_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::flexmr::detail::assert_fail(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define FLEXMR_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::flexmr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

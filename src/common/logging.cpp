@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace flexmr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::lock_guard lock(mutex_);
+  std::fprintf(stderr, "[%-5s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace flexmr

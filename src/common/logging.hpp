@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but bench
+// harnesses run many simulations on a thread pool, so log emission is
+// serialized with a mutex. Default level is Warn to keep bench output clean;
+// examples raise it to Info.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace flexmr {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace flexmr
+
+// Usage: FLEXMR_LOG(Info, "yarn") << "granted container on node " << id;
+#define FLEXMR_LOG(level, component)                                     \
+  if (::flexmr::Logger::instance().enabled(::flexmr::LogLevel::level))   \
+  ::flexmr::detail::LogLine(::flexmr::LogLevel::level, (component))

@@ -1,0 +1,97 @@
+// Statistics accumulators used to summarize experiment results: streaming
+// moments, exact percentiles over stored samples, and fixed-bin histograms
+// for the paper's PDF plots (Fig. 1, Fig. 3a).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flexmr {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles. Intended for per-task
+/// runtime distributions (thousands of samples, not millions).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// Coefficient of variation: stddev / mean.
+  double cv() const;
+  /// Exact quantile by linear interpolation; q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Divides every sample by the maximum (used by the paper's
+  /// "normalized map execution time" PDFs). No-op if empty or max == 0.
+  void normalize_by_max();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  /// Probability density: count / (total * bin_width).
+  double density(std::size_t i) const;
+  /// Fraction of mass in bin i.
+  double fraction(std::size_t i) const;
+
+  /// Renders a fixed-width ASCII bar chart, one line per bin.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,35 @@
+// Plain-text table renderer for bench harness output. Every figure/table
+// reproduction prints its rows through this so outputs are uniform and easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flexmr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string str() const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,42 @@
+// Basic unit types and conversions used throughout FlexMR.
+//
+// Simulated time is a double count of seconds since simulation start.
+// Data sizes are doubles in mebibytes (MiB): the paper reasons entirely in
+// MB-granularity block units, and fractional MiB arise from rate integration.
+#pragma once
+
+#include <cstdint>
+
+namespace flexmr {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// A duration in simulated seconds.
+using SimDuration = double;
+
+/// Data size in mebibytes.
+using MiB = double;
+
+/// Data-processing or transfer rate in MiB per second.
+using MiBps = double;
+
+inline constexpr MiB kBlockUnitMiB = 8.0;   ///< The paper's basic block unit.
+inline constexpr MiB kDefaultBlockMiB = 64.0;
+inline constexpr MiB kLargeBlockMiB = 128.0;
+
+constexpr MiB gib_to_mib(double gib) { return gib * 1024.0; }
+constexpr double mib_to_gib(MiB mib) { return mib / 1024.0; }
+
+/// Identifier types. Plain integers wrapped in distinct enums would be
+/// safer, but indices into contiguous vectors dominate this codebase, so we
+/// use explicit typedefs and keep conversions visible at call sites.
+using NodeId = std::uint32_t;
+using TaskId = std::uint32_t;
+using BlockUnitId = std::uint32_t;
+using JobId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+}  // namespace flexmr

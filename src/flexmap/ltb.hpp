@@ -1,0 +1,47 @@
+// LateTaskBinder (paper §III-C): builds an n-BU input split for a map task
+// at container-grant time, maximizing data locality.
+//
+// Given a granted container on `node` and a target size of n BUs, the
+// binder takes up to n BUs with replicas on the node from the
+// BlockLocationIndex (the NodeToBlock/BlockToNode maps); if the node holds
+// fewer, the remainder comes from the node with the most unprocessed BUs
+// (the paper's remote heuristic). Taking a BU removes it everywhere, so a
+// BU is bound to exactly one task.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "hdfs/block_index.hpp"
+
+namespace flexmr::flexmap {
+
+struct BoundSplit {
+  std::vector<BlockUnitId> bus;
+  std::size_t local = 0;   ///< How many of `bus` are node-local.
+  std::size_t remote = 0;
+};
+
+class LateTaskBinder {
+ public:
+  explicit LateTaskBinder(hdfs::BlockLocationIndex& index) : index_(&index) {}
+
+  /// Binds up to `n` BUs for a container on `node`. Returns an empty split
+  /// only when no unprocessed BU remains anywhere.
+  BoundSplit bind(NodeId node, std::size_t n) {
+    BoundSplit split;
+    split.bus = index_->take_local(node, n);
+    split.local = split.bus.size();
+    if (split.bus.size() < n && index_->unprocessed() > 0) {
+      auto remote = index_->take_remote(node, n - split.bus.size());
+      split.remote = remote.size();
+      split.bus.insert(split.bus.end(), remote.begin(), remote.end());
+    }
+    return split;
+  }
+
+ private:
+  hdfs::BlockLocationIndex* index_;
+};
+
+}  // namespace flexmr::flexmap

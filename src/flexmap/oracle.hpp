@@ -1,0 +1,65 @@
+// OracleScheduler: FlexMap with perfect knowledge.
+//
+// Identical policy to FlexMapScheduler, but the speed monitor is fed the
+// machines' true effective speeds instead of heartbeat estimates. This is
+// not implementable in a real AM — it exists as the upper bound for the
+// ablation study: the gap between FlexMap and Oracle is the cost of
+// *estimating* speeds from Eq. 3; the gap between Oracle and stock Hadoop
+// is the full value of elastic sizing.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "flexmap/flexmap_scheduler.hpp"
+
+namespace flexmr::flexmap {
+
+class OracleScheduler final : public mr::Scheduler {
+ public:
+  /// `cluster` must outlive the scheduler and be the cluster the job runs
+  /// on; the oracle reads its ground-truth speeds every heartbeat.
+  OracleScheduler(const cluster::Cluster& cluster,
+                  FlexMapOptions options = {})
+      : cluster_(&cluster), inner_(options) {}
+
+  std::string name() const override { return "flexmap-oracle"; }
+
+  void on_job_start(mr::DriverContext& ctx) override {
+    inner_.on_job_start(ctx);
+    feed_truth();
+  }
+  std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
+                                            NodeId node) override {
+    return inner_.on_slot_free(ctx, node);
+  }
+  void on_map_dispatch(mr::DriverContext& ctx, TaskId task,
+                       NodeId node) override {
+    inner_.on_map_dispatch(ctx, task, node);
+  }
+  void on_map_complete(mr::DriverContext& ctx,
+                       const mr::TaskRecord& rec) override {
+    inner_.on_map_complete(ctx, rec);
+  }
+  void on_heartbeat(mr::DriverContext& ctx, NodeId node) override {
+    (void)ctx;
+    // Replace the estimate with ground truth (per-container speed for the
+    // reference workload; costs cancel in the ratios the sizer uses).
+    inner_.set_observed_speed(node, cluster_->machine(node).effective_ips());
+  }
+  bool accept_reducer(mr::DriverContext& ctx, NodeId node) override {
+    return inner_.accept_reducer(ctx, node);
+  }
+
+  const FlexMapScheduler& inner() const { return inner_; }
+
+ private:
+  void feed_truth() {
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+      inner_.set_observed_speed(n, cluster_->machine(n).effective_ips());
+    }
+  }
+
+  const cluster::Cluster* cluster_;
+  FlexMapScheduler inner_;
+};
+
+}  // namespace flexmr::flexmap

@@ -1,0 +1,39 @@
+// Biased reduce placement (paper §III-F).
+//
+// FlexMap's elastic maps concentrate intermediate data on fast nodes, so
+// dispatching reducers uniformly would both bottleneck on slow nodes
+// (one-wave reduce execution) and shuffle more bytes across machines. The
+// paper's fix: normalize machine capacity to (0, 1] with the fastest
+// machine at 1 (c_i), then dispatch each reducer by rejection sampling —
+// draw a node uniformly, accept with probability c_i².
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::flexmap {
+
+class BiasedReducePlacer {
+ public:
+  explicit BiasedReducePlacer(std::uint64_t seed) : rng_(seed) {}
+
+  /// The c_i^2 acceptance rule, applied when a container on a node is
+  /// offered for a reducer: accept with probability capacity², where
+  /// `capacity` is the node's machine capacity (per-container speed ×
+  /// containers) normalized into (0, 1] with the fastest machine at 1.
+  /// Declined offers recur on later cluster events, so a slow node ends up
+  /// taking reducers only when fast nodes cannot absorb them — "more
+  /// reducers dispatched onto faster nodes" with guaranteed progress.
+  bool accept(double capacity) {
+    FLEXMR_ASSERT(capacity >= 0.0 && capacity <= 1.0);
+    return rng_.uniform() <= capacity * capacity;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace flexmr::flexmap

@@ -1,0 +1,28 @@
+#include "flexmap/sizing.hpp"
+
+namespace flexmr::flexmap {
+
+bool DynamicSizer::on_task_complete(NodeId node, std::uint32_t task_epoch,
+                                    double productivity) {
+  FLEXMR_ASSERT(node < nodes_.size());
+  NodeState& state = nodes_[node];
+  if (!options_.vertical || state.frozen) return false;
+  if (task_epoch != state.epoch) return false;  // stale wave feedback
+
+  ++state.epoch;  // one growth decision per wave
+  if (productivity < options_.fast_limit) {
+    state.size_unit *= 2;  // fast scaling: jump past inefficient sizes
+  } else if (productivity < options_.linear_limit) {
+    state.size_unit += 1;  // linear scaling: approach the knee gently
+  } else {
+    state.frozen = true;  // efficient enough; stop growing
+    return false;
+  }
+  if (options_.max_unit_bus > 0 && state.size_unit > options_.max_unit_bus) {
+    state.size_unit = options_.max_unit_bus;
+    state.frozen = true;
+  }
+  return true;
+}
+
+}  // namespace flexmr::flexmap

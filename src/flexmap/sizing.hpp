@@ -1,0 +1,87 @@
+// Dynamic map task sizing — the paper's Algorithm 1 (DataProvision).
+//
+// Every node starts at one block unit. Sizing evolves along two axes:
+//
+//  * VERTICAL (per node, productivity feedback): while a node's completed
+//    tasks have productivity below FAST_LIMIT the size unit doubles each
+//    wave; between FAST_LIMIT and LINEAR_LIMIT it grows by one BU per
+//    wave; at or above LINEAR_LIMIT it freezes.
+//  * HORIZONTAL (across nodes, speed feedback): the task size actually
+//    launched is size_unit × (node speed / slowest node speed).
+//
+// "Per wave" is enforced with epochs: each launched task is stamped with
+// its node's sizing epoch, and only the first completion stamped with the
+// current epoch triggers a growth step (otherwise every task of the same
+// wave would double the unit again).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::flexmap {
+
+struct SizingOptions {
+  double fast_limit = 0.8;    ///< FAST_LIMIT (paper: 0.8).
+  double linear_limit = 0.9;  ///< LINEAR_LIMIT (paper: 0.9).
+  bool vertical = true;       ///< Ablation: disable productivity growth.
+  bool horizontal = true;     ///< Ablation: disable speed proportionality.
+  /// Upper bound on the size unit, in BUs (0 = unbounded, the paper's
+  /// setting; Fig. 7 reaches 64 BUs = 512 MB).
+  std::uint32_t max_unit_bus = 0;
+};
+
+class DynamicSizer {
+ public:
+  DynamicSizer(std::uint32_t num_nodes, SizingOptions options = {})
+      : options_(options), nodes_(num_nodes) {
+    FLEXMR_ASSERT(options.fast_limit > 0 &&
+                  options.fast_limit <= options.linear_limit &&
+                  options.linear_limit <= 1.0);
+  }
+
+  /// Size unit s_i of `node`, in BUs.
+  std::uint32_t size_unit(NodeId node) const {
+    return nodes_[node].size_unit;
+  }
+
+  /// Current sizing epoch of `node` (stamp launches with this).
+  std::uint32_t epoch(NodeId node) const { return nodes_[node].epoch; }
+
+  bool frozen(NodeId node) const { return nodes_[node].frozen; }
+
+  /// Task size m_i for a launch on `node`: size unit scaled by the node's
+  /// speed relative to the slowest node (horizontal scaling, line 17).
+  /// Result is at least 1 BU.
+  std::uint32_t task_size(NodeId node, double relative_speed) const {
+    const auto& state = nodes_[node];
+    double size = static_cast<double>(state.size_unit);
+    if (options_.horizontal) {
+      FLEXMR_ASSERT(relative_speed > 0);
+      size *= relative_speed;
+    }
+    const double rounded = std::floor(size + 0.5);
+    return rounded < 1.0 ? 1u : static_cast<std::uint32_t>(rounded);
+  }
+
+  /// Feeds back a completed task's productivity. `task_epoch` is the epoch
+  /// the task was launched with; stale epochs are ignored. Returns true if
+  /// the size unit changed.
+  bool on_task_complete(NodeId node, std::uint32_t task_epoch,
+                        double productivity);
+
+ private:
+  struct NodeState {
+    std::uint32_t size_unit = 1;  ///< s_i, in BUs (starts at one 8 MB BU).
+    std::uint32_t epoch = 0;
+    bool frozen = false;
+  };
+
+  SizingOptions options_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace flexmr::flexmap

@@ -1,0 +1,47 @@
+#include "flexmap/speed_monitor.hpp"
+
+#include <algorithm>
+
+namespace flexmr::flexmap {
+
+std::optional<MiBps> SpeedMonitor::slowest() const {
+  std::optional<MiBps> result;
+  for (const auto& speed : speeds_) {
+    if (!speed) continue;
+    if (!result || *speed < *result) result = speed;
+  }
+  return result;
+}
+
+std::optional<MiBps> SpeedMonitor::fastest() const {
+  std::optional<MiBps> result;
+  for (const auto& speed : speeds_) {
+    if (!speed) continue;
+    if (!result || *speed > *result) result = speed;
+  }
+  return result;
+}
+
+double SpeedMonitor::relative_speed(NodeId node) const {
+  const auto own = get_speed(node);
+  const auto low = slowest();
+  if (!own || !low || *low <= 0.0) return 1.0;
+  return *own / *low;
+}
+
+double SpeedMonitor::capacity(NodeId node) const {
+  const auto own = get_speed(node);
+  const auto high = fastest();
+  if (!own || !high || *high <= 0.0) return 1.0;
+  return std::clamp(*own / *high, 1e-6, 1.0);
+}
+
+std::size_t SpeedMonitor::known_nodes() const {
+  std::size_t n = 0;
+  for (const auto& speed : speeds_) {
+    if (speed) ++n;
+  }
+  return n;
+}
+
+}  // namespace flexmr::flexmap

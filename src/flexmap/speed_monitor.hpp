@@ -1,0 +1,68 @@
+// SpeedMonitor (paper §III-D): tracks per-node input processing speed.
+//
+// The driver computes each heartbeat round's per-node average container IPS
+// (Eq. 3: HDFS_BYTES_READ / task runtime, averaged over the node's
+// containers so record-cost skew washes out). The monitor keeps the latest
+// known estimate per node — the paper's getSpeed interface — and derives
+// the slowest/fastest known speeds used by horizontal scaling and by the
+// biased reduce placer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::flexmap {
+
+class SpeedMonitor {
+ public:
+  explicit SpeedMonitor(std::uint32_t num_nodes)
+      : speeds_(num_nodes) {}
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(speeds_.size());
+  }
+
+  /// Records the round-average IPS heard from `node` this heartbeat.
+  void update(NodeId node, MiBps ips) {
+    FLEXMR_ASSERT(node < speeds_.size());
+    FLEXMR_ASSERT(ips >= 0.0);
+    speeds_[node] = ips;
+  }
+
+  /// Drops a node's estimate (its NodeManager failed): the node must no
+  /// longer anchor the slowest/fastest baselines.
+  void forget(NodeId node) {
+    FLEXMR_ASSERT(node < speeds_.size());
+    speeds_[node].reset();
+  }
+
+  /// The paper's getSpeed: last known IPS of `node`, nullopt before the
+  /// node first reports.
+  std::optional<MiBps> get_speed(NodeId node) const {
+    FLEXMR_ASSERT(node < speeds_.size());
+    return speeds_[node];
+  }
+
+  /// Slowest known node speed; nullopt until anyone has reported.
+  std::optional<MiBps> slowest() const;
+
+  /// Fastest known node speed; nullopt until anyone has reported.
+  std::optional<MiBps> fastest() const;
+
+  /// node speed / slowest known speed; 1.0 while speeds are unknown.
+  double relative_speed(NodeId node) const;
+
+  /// node speed / fastest known speed in (0, 1]; 1.0 while unknown.
+  /// This is the capacity value c_i the reduce placer biases by.
+  double capacity(NodeId node) const;
+
+  std::size_t known_nodes() const;
+
+ private:
+  std::vector<std::optional<MiBps>> speeds_;
+};
+
+}  // namespace flexmr::flexmap

@@ -1,0 +1,52 @@
+// HDFS data model.
+//
+// A job's input file is divided into fixed-size *blocks* (64 MB / 128 MB in
+// the paper) placed with r-way replication. FlexMap further subdivides each
+// block into 8 MB *block units* (BUs) — the smallest unit of task sizing.
+// A BU inherits the replica placement of its parent block, so both the
+// stock block-grained scheduler and FlexMap's BU-grained late binder see
+// one consistent physical layout.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flexmr::hdfs {
+
+/// One block unit: the atomic input quantum (normally 8 MiB; the final BU
+/// of a file may be smaller).
+struct BlockUnit {
+  BlockUnitId id = 0;
+  std::uint32_t block = 0;  ///< Index of the parent block.
+  MiB size = kBlockUnitMiB;
+  /// Relative per-byte processing cost of the records in this BU (data
+  /// skew). 1.0 = the workload's average record mix.
+  double cost = 1.0;
+};
+
+/// One HDFS block: a contiguous run of BUs plus its replica set.
+struct Block {
+  std::uint32_t id = 0;
+  std::vector<BlockUnitId> bus;
+  std::vector<NodeId> replicas;
+};
+
+/// The full layout of one input file.
+struct FileLayout {
+  MiB total_size = 0;
+  MiB block_size = kDefaultBlockMiB;
+  MiB bu_size = kBlockUnitMiB;
+  std::uint32_t replication = 3;
+  std::vector<Block> blocks;
+  std::vector<BlockUnit> bus;
+
+  const std::vector<NodeId>& replicas_of(BlockUnitId bu) const {
+    return blocks[bus[bu].block].replicas;
+  }
+
+  /// Total work of the file in cost-weighted MiB (Σ size·cost).
+  double total_work() const;
+};
+
+}  // namespace flexmr::hdfs

@@ -1,0 +1,82 @@
+#include "hdfs/namenode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flexmr::hdfs {
+
+double FileLayout::total_work() const {
+  double work = 0.0;
+  for (const auto& bu : bus) work += bu.size * bu.cost;
+  return work;
+}
+
+NameNode::NameNode(std::uint32_t num_nodes, PlacementPolicy policy, Rng rng)
+    : num_nodes_(num_nodes), policy_(policy), rng_(rng) {
+  FLEXMR_ASSERT(num_nodes > 0);
+}
+
+std::vector<NodeId> NameNode::place_replicas(std::uint32_t count) {
+  count = std::min(count, num_nodes_);
+  std::vector<NodeId> replicas;
+  replicas.reserve(count);
+  if (policy_ == PlacementPolicy::kRoundRobin) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      replicas.push_back((next_rr_ + i) % num_nodes_);
+    }
+    next_rr_ = (next_rr_ + 1) % num_nodes_;
+    return replicas;
+  }
+  // Random distinct nodes via partial Fisher-Yates over node ids.
+  std::vector<NodeId> pool(num_nodes_);
+  for (NodeId i = 0; i < num_nodes_; ++i) pool[i] = i;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(
+                           rng_.uniform_int(num_nodes_ - i));
+    std::swap(pool[i], pool[j]);
+    replicas.push_back(pool[i]);
+  }
+  std::sort(replicas.begin(), replicas.end());
+  return replicas;
+}
+
+FileLayout NameNode::create_file(MiB size, MiB block_size,
+                                 std::uint32_t replication, MiB bu_size) {
+  FLEXMR_ASSERT(size > 0 && block_size > 0 && bu_size > 0);
+  FLEXMR_ASSERT_MSG(block_size >= bu_size,
+                    "block size must be at least one BU");
+  FLEXMR_ASSERT(replication > 0);
+
+  FileLayout layout;
+  layout.total_size = size;
+  layout.block_size = block_size;
+  layout.bu_size = bu_size;
+  layout.replication = std::min(replication, num_nodes_);
+
+  const auto bus_per_block =
+      static_cast<std::uint32_t>(std::ceil(block_size / bu_size - 1e-9));
+  MiB remaining = size;
+  std::uint32_t block_id = 0;
+  BlockUnitId bu_id = 0;
+  while (remaining > 1e-9) {
+    Block block;
+    block.id = block_id;
+    block.replicas = place_replicas(layout.replication);
+    for (std::uint32_t i = 0; i < bus_per_block && remaining > 1e-9; ++i) {
+      BlockUnit bu;
+      bu.id = bu_id++;
+      bu.block = block_id;
+      bu.size = std::min(bu_size, remaining);
+      remaining -= bu.size;
+      block.bus.push_back(bu.id);
+      layout.bus.push_back(bu);
+    }
+    layout.blocks.push_back(std::move(block));
+    ++block_id;
+  }
+  return layout;
+}
+
+}  // namespace flexmr::hdfs

@@ -1,0 +1,82 @@
+#include "mr/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr::mr {
+
+std::vector<NodeUtilization> node_utilization(
+    const JobResult& result, const cluster::Cluster& cluster) {
+  std::vector<NodeUtilization> stats(cluster.num_nodes());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    stats[n].node = n;
+    stats[n].slots = cluster.machine(n).slots();
+  }
+  for (const auto& task : result.tasks) {
+    auto& node = stats[task.node];
+    if (task.status == TaskStatus::kKilled) {
+      node.wasted += task.total_runtime();
+      continue;
+    }
+    if (task.kind == TaskKind::kMap) {
+      node.map_busy += task.total_runtime();
+      node.map_input += task.input_mib;
+    } else {
+      node.reduce_busy += task.total_runtime();
+    }
+  }
+  return stats;
+}
+
+TailAnalysis analyze_tail(const JobResult& result) {
+  TailAnalysis analysis;
+  std::vector<const TaskRecord*> maps;
+  for (const auto& task : result.tasks) {
+    if (task.kind == TaskKind::kMap && task.credited()) {
+      maps.push_back(&task);
+    }
+  }
+  FLEXMR_ASSERT_MSG(!maps.empty(), "no credited map tasks to analyze");
+  std::sort(maps.begin(), maps.end(),
+            [](const TaskRecord* a, const TaskRecord* b) {
+              return a->end_time < b->end_time;
+            });
+  const SimDuration phase = result.map_phase_runtime();
+  const SimTime start = result.map_phase_start;
+  auto at_fraction = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(maps.size() - 1));
+    return phase > 0 ? (maps[idx]->end_time - start) / phase : 0.0;
+  };
+  analysis.p50_at = at_fraction(0.5);
+  analysis.p90_at = at_fraction(0.9);
+  const TaskRecord* last = maps.back();
+  analysis.tail_node = last->node;
+  analysis.tail_input = last->input_mib;
+  analysis.tail_share =
+      phase > 0 ? last->total_runtime() / phase : 0.0;
+  return analysis;
+}
+
+WaveStats analyze_waves(const JobResult& result) {
+  WaveStats stats;
+  if (result.total_slots == 0) return stats;
+  std::size_t maps = 0;
+  double busy = 0;
+  for (const auto& task : result.tasks) {
+    if (task.kind != TaskKind::kMap) continue;
+    if (task.credited()) ++maps;
+    busy += task.total_runtime();  // killed copies occupied slots too
+  }
+  stats.mean_waves =
+      static_cast<double>(maps) / static_cast<double>(result.total_slots);
+  const SimDuration phase = result.map_phase_runtime();
+  if (phase > 0) {
+    stats.mean_map_concurrency =
+        busy / (phase * static_cast<double>(result.total_slots));
+  }
+  return stats;
+}
+
+}  // namespace flexmr::mr

@@ -1,0 +1,58 @@
+// Post-hoc analysis of a JobResult: per-node utilization, straggler/tail
+// decomposition, and wave statistics — the diagnosis toolkit behind the
+// examples and EXPERIMENTS.md commentary.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/metrics.hpp"
+
+namespace flexmr::mr {
+
+struct NodeUtilization {
+  NodeId node = 0;
+  /// Slot-seconds busy with map / reduce / killed work during the job.
+  SimDuration map_busy = 0;
+  SimDuration reduce_busy = 0;
+  SimDuration wasted = 0;  ///< Killed-task slot-seconds.
+  MiB map_input = 0;       ///< Credited map input processed on this node.
+  std::uint32_t slots = 0;
+
+  /// Busy fraction of this node's slot capacity over [start, end).
+  double utilization(SimDuration span) const {
+    const double capacity = span * slots;
+    return capacity > 0 ? (map_busy + reduce_busy + wasted) / capacity : 0;
+  }
+};
+
+struct TailAnalysis {
+  /// When each slot-count quantile of map work finished, as a fraction of
+  /// the map phase: e.g. p50_at = 0.4 means half the map tasks were done
+  /// at 40% of the phase.
+  double p50_at = 0;
+  double p90_at = 0;
+  /// The last map task: node, size, and its runtime share of the phase.
+  NodeId tail_node = 0;
+  MiB tail_input = 0;
+  double tail_share = 0;
+};
+
+struct WaveStats {
+  /// Map tasks per slot, i.e. the number of waves the job effectively ran.
+  double mean_waves = 0;
+  /// Mean concurrently-running maps / total slots over the map phase.
+  double mean_map_concurrency = 0;
+};
+
+/// Per-node busy/processed accounting over the whole job.
+std::vector<NodeUtilization> node_utilization(
+    const JobResult& result, const cluster::Cluster& cluster);
+
+/// Map-phase tail decomposition.
+TailAnalysis analyze_tail(const JobResult& result);
+
+/// Wave/occupancy statistics for the map phase.
+WaveStats analyze_waves(const JobResult& result);
+
+}  // namespace flexmr::mr

@@ -1,0 +1,741 @@
+#include "mr/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace flexmr::mr {
+
+namespace {
+constexpr TaskId kReduceIdBase = 1'000'000;
+}
+
+JobDriver::JobDriver(Simulator& sim, cluster::Cluster& cluster,
+                     const hdfs::FileLayout& layout, JobSpec job,
+                     SimParams params, Scheduler& scheduler)
+    : sim_(&sim),
+      cluster_(&cluster),
+      layout_(&layout),
+      job_(std::move(job)),
+      params_(params),
+      scheduler_(&scheduler),
+      index_(layout, cluster.num_nodes()),
+      owned_rm_(std::make_unique<yarn::ResourceManager>(cluster)),
+      rm_(*owned_rm_),
+      rng_(params.seed ^ 0xf1e2d3c4b5a69788ULL),
+      intermediate_on_node_(cluster.num_nodes(), 0.0),
+      round_ips_(cluster.num_nodes()),
+      pending_ips_samples_(cluster.num_nodes()) {
+  FLEXMR_ASSERT_MSG(!layout.bus.empty(), "job has no input");
+}
+
+JobDriver::JobDriver(Simulator& sim, cluster::Cluster& cluster,
+                     const hdfs::FileLayout& layout, JobSpec job,
+                     SimParams params, Scheduler& scheduler,
+                     yarn::ResourceManager& shared_rm)
+    : sim_(&sim),
+      cluster_(&cluster),
+      layout_(&layout),
+      job_(std::move(job)),
+      params_(params),
+      scheduler_(&scheduler),
+      index_(layout, cluster.num_nodes()),
+      rm_(shared_rm),
+      rng_(params.seed ^ 0xf1e2d3c4b5a69788ULL),
+      intermediate_on_node_(cluster.num_nodes(), 0.0),
+      round_ips_(cluster.num_nodes()),
+      pending_ips_samples_(cluster.num_nodes()) {
+  FLEXMR_ASSERT_MSG(!layout.bus.empty(), "job has no input");
+}
+
+void JobDriver::start() {
+  FLEXMR_ASSERT_MSG(!started_, "JobDriver is one-shot");
+  started_ = true;
+
+  result_.benchmark = job_.name;
+  result_.scheduler = scheduler_->name();
+  result_.total_slots = rm_.total_slots();
+  result_.submit_time = sim_->now();
+  result_.map_phase_start = sim_->now();
+
+  if (owned_rm_) {
+    // Single-job mode: this driver owns interference and the offer loop.
+    cluster_->start(*sim_, rng_);
+    rm_.set_offer_handler(
+        [this](NodeId node) { return handle_offer(node); });
+  }
+  for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+    cluster_->machine(node).add_speed_listener(
+        [this](NodeId n, MiBps) { on_speed_change(n); });
+  }
+
+  scheduler_->on_job_start(*this);
+
+  for (const auto& [node, time] : planned_failures_) {
+    const NodeId failing = node;
+    // A job submitted after the failure learns about it immediately.
+    sim_->schedule_at(std::max(time, sim_->now()),
+                      [this, failing]() { fail_node(failing); });
+  }
+
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+  sim_->schedule_after(params_.heartbeat_period_s, [this]() { heartbeat(); });
+}
+
+JobResult JobDriver::run() {
+  FLEXMR_ASSERT_MSG(owned_rm_ != nullptr,
+                    "run() is for single-job mode; with a shared RM use "
+                    "start() and step the simulator yourself");
+  start();
+  while (!done_) {
+    if (!sim_->step()) {
+      throw InvariantError("simulation ran dry before job completion");
+    }
+  }
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// Map phase
+// ---------------------------------------------------------------------------
+
+bool JobDriver::handle_offer(NodeId node) {
+  if (done_) return false;
+  if (!map_phase_done_) {
+    auto launch = scheduler_->on_slot_free(*this, node);
+    if (launch) {
+      dispatch_map(node, std::move(*launch));
+      return true;
+    }
+    return false;
+  }
+  return dispatch_reduce(node);
+}
+
+void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
+  auto task = std::make_unique<MapTask>();
+  task->id = static_cast<TaskId>(map_tasks_.size());
+  task->node = node;
+  task->dispatch_time = sim_->now();
+
+  if (launch.is_speculative()) {
+    FLEXMR_ASSERT_MSG(launch.bus.empty(),
+                      "speculative launch must not carry its own BUs");
+    FLEXMR_ASSERT(launch.speculative_of < map_tasks_.size());
+    MapTask& original = *map_tasks_[launch.speculative_of];
+    FLEXMR_ASSERT_MSG(original.phase != TaskPhase::kDone,
+                      "cannot speculate a finished task");
+    FLEXMR_ASSERT_MSG(original.twin == kInvalidTask,
+                      "task already has a speculative copy");
+    FLEXMR_ASSERT_MSG(!original.speculative,
+                      "cannot speculate a speculative copy");
+    task->bus = original.bus;
+    task->speculative = true;
+    task->twin = original.id;
+    original.twin = task->id;
+  } else {
+    FLEXMR_ASSERT_MSG(!launch.bus.empty(), "map launch with no input");
+    task->bus = std::move(launch.bus);
+    for (const BlockUnitId bu : task->bus) {
+      FLEXMR_ASSERT_MSG(index_.taken(bu),
+                        "launched BU was not taken from the index");
+    }
+  }
+
+  MiB local = 0;
+  double work = 0;
+  for (const BlockUnitId bu : task->bus) {
+    const auto& unit = layout_->bus[bu];
+    task->size += unit.size;
+    work += unit.size * unit.cost;
+    const auto& replicas = layout_->replicas_of(bu);
+    if (std::find(replicas.begin(), replicas.end(), node) !=
+        replicas.end()) {
+      local += unit.size;
+    }
+  }
+  task->avg_cost = work / task->size;
+  task->local_fraction = local / task->size;
+  if (params_.exec_noise_sigma > 0) {
+    const double sigma = params_.exec_noise_sigma;
+    task->exec_noise = std::exp(-sigma * sigma / 2.0 +
+                                sigma * rng_.normal());
+  }
+
+  const TaskId id = task->id;
+  const SimDuration startup = params_.container_alloc_s +
+                              params_.jvm_startup_s + launch.extra_startup_s;
+  task->pending_event =
+      sim_->schedule_after(startup, [this, id]() { map_compute_start(id); });
+
+  ++running_map_count_;
+  map_tasks_.push_back(std::move(task));
+  scheduler_->on_map_dispatch(*this, id, node);
+}
+
+double JobDriver::map_rate(const MapTask& task) const {
+  const double remote_factor =
+      1.0 + params_.remote_read_penalty * (1.0 - task.local_fraction);
+  return cluster_->machine(task.node).effective_ips() /
+         (job_.map_cost * task.avg_cost * remote_factor * task.exec_noise);
+}
+
+void JobDriver::map_compute_start(TaskId id) {
+  MapTask& task = *map_tasks_[id];
+  task.phase = TaskPhase::kComputing;
+  task.compute_start = sim_->now();
+  task.integrator.emplace(task.size, map_rate(task), sim_->now());
+  reschedule_map_completion(task);
+}
+
+void JobDriver::reschedule_map_completion(MapTask& task) {
+  if (task.pending_event != kInvalidEvent) {
+    sim_->cancel(task.pending_event);
+    task.pending_event = kInvalidEvent;
+  }
+  const auto eta = task.integrator->eta(sim_->now());
+  FLEXMR_ASSERT_MSG(eta.has_value(), "map task stalled at zero rate");
+  const TaskId id = task.id;
+  task.pending_event =
+      sim_->schedule_at(*eta, [this, id]() { map_complete(id); });
+}
+
+void JobDriver::record_map(const MapTask& task, TaskStatus status,
+                           MiB consumed, std::uint32_t credited_bus) {
+  TaskRecord rec;
+  rec.id = task.id;
+  rec.node = task.node;
+  rec.kind = TaskKind::kMap;
+  rec.status = status;
+  rec.speculative = task.speculative;
+  rec.dispatch_time = task.dispatch_time;
+  rec.compute_start = task.compute_start;
+  rec.end_time = sim_->now();
+  rec.input_mib = consumed;
+  rec.num_bus = credited_bus;
+  rec.local_fraction = task.local_fraction;
+  rec.phase_progress_at_end = map_phase_progress();
+  result_.map_phase_end = std::max(result_.map_phase_end, rec.end_time);
+  result_.tasks.push_back(rec);
+}
+
+void JobDriver::map_complete(TaskId id) {
+  MapTask& task = *map_tasks_[id];
+  FLEXMR_ASSERT(task.phase == TaskPhase::kComputing);
+  task.phase = TaskPhase::kDone;
+  task.pending_event = kInvalidEvent;
+  --running_map_count_;
+
+  // NOTE: rm_.release / kill_map below can cascade into dispatch_map, which
+  // may reallocate map_tasks_ — copy what we need before any of them.
+  const NodeId node = task.node;
+  const TaskId twin_id = task.twin;
+
+  // The winner credits the BUs; a twin (original or copy) is killed now.
+  task.credited = true;
+  processed_bus_ += task.bus.size();
+  intermediate_on_node_[node] += task.size * job_.shuffle_ratio;
+  record_map(task, TaskStatus::kCompleted, task.size,
+             static_cast<std::uint32_t>(task.bus.size()));
+  const TaskRecord completed_rec = result_.tasks.back();
+
+  // IPS sample at completion, folded into the node's next heartbeat round
+  // (tasks shorter than a heartbeat would otherwise never report). We use
+  // the task's *effective* runtime — Eq. 3 divides by total attempt time,
+  // but for the 8 MB tasks FlexMap starts with that denominator is
+  // dominated by container/JVM startup and would measure overhead, not
+  // machine speed; the AM can observe attempt-start timestamps, so the
+  // effective-runtime variant is equally implementable.
+  if (completed_rec.effective_runtime() > 0) {
+    pending_ips_samples_[node].push_back(task.size /
+                                         completed_rec.effective_runtime());
+  }
+
+  if (twin_id != kInvalidTask) {
+    MapTask& twin = *map_tasks_[twin_id];
+    map_tasks_[id]->twin = kInvalidTask;
+    twin.twin = kInvalidTask;
+    if (twin.phase != TaskPhase::kDone) kill_map(twin_id, TaskStatus::kKilled);
+  }
+
+  scheduler_->on_map_complete(*this, completed_rec);
+
+  if (processed_bus_ == layout_->bus.size() && !map_phase_done_) {
+    finish_map_phase();
+  }
+  rm_.release(node);
+}
+
+void JobDriver::kill_map(TaskId id, TaskStatus final_status) {
+  MapTask& task = *map_tasks_[id];
+  FLEXMR_ASSERT(task.phase != TaskPhase::kDone);
+  if (task.pending_event != kInvalidEvent) {
+    sim_->cancel(task.pending_event);
+    task.pending_event = kInvalidEvent;
+  }
+  task.phase = TaskPhase::kDone;
+  --running_map_count_;
+  const NodeId node = task.node;
+  const MiB consumed =
+      task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+  record_map(task, final_status, consumed, 0);
+  rm_.release(node);  // `task` may dangle past this point
+}
+
+std::vector<BlockUnitId> JobDriver::kill_and_reclaim(TaskId id) {
+  FLEXMR_ASSERT(id < map_tasks_.size());
+  MapTask& task = *map_tasks_[id];
+  FLEXMR_ASSERT_MSG(task.phase != TaskPhase::kDone,
+                    "kill_and_reclaim on a finished task");
+  FLEXMR_ASSERT_MSG(task.twin == kInvalidTask && !task.speculative,
+                    "kill_and_reclaim on a speculated task");
+
+  if (task.pending_event != kInvalidEvent) {
+    sim_->cancel(task.pending_event);
+    task.pending_event = kInvalidEvent;
+  }
+  task.phase = TaskPhase::kDone;
+  --running_map_count_;
+
+  // Split the BU list at the consumed prefix: complete BUs stay credited
+  // to this task; the partially-read BU (if any) and the unread suffix go
+  // back to the pool.
+  const MiB consumed =
+      task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+  MiB acc = 0;
+  std::size_t kept = 0;
+  while (kept < task.bus.size()) {
+    const MiB next = acc + layout_->bus[task.bus[kept]].size;
+    if (next > consumed + 1e-9) break;
+    acc = next;
+    ++kept;
+  }
+  std::vector<BlockUnitId> remaining(task.bus.begin() +
+                                         static_cast<std::ptrdiff_t>(kept),
+                                     task.bus.end());
+  task.bus.resize(kept);
+  task.size = acc;
+  task.credited = kept > 0;
+  const NodeId node = task.node;
+
+  processed_bus_ += kept;
+  intermediate_on_node_[node] += acc * job_.shuffle_ratio;
+  record_map(task, kept > 0 ? TaskStatus::kPartialCompleted
+                            : TaskStatus::kKilled,
+             acc, static_cast<std::uint32_t>(kept));
+  const TaskRecord partial_rec = result_.tasks.back();
+  if (kept > 0) scheduler_->on_map_complete(*this, partial_rec);
+
+  index_.put_back(remaining);
+  rm_.release(node);  // `task` may dangle past this point
+  // If this ran inside an offer cascade the release above was swallowed by
+  // the re-entrancy guard; mop up once the current event unwinds.
+  sim_->schedule_after(0.0, [this]() { rm_.offer_all(); });
+
+  if (processed_bus_ == layout_->bus.size() && !map_phase_done_) {
+    finish_map_phase();
+  }
+  return remaining;
+}
+
+void JobDriver::finish_map_phase() {
+  FLEXMR_ASSERT_MSG(running_map_count_ == 0,
+                    "map phase ended with running maps");
+  FLEXMR_ASSERT(index_.unprocessed() == 0);
+  map_phase_done_ = true;
+  if (job_.map_only()) {
+    finish_job();
+    return;
+  }
+  enqueue_reducers();
+  // Reduce dispatch waits for the deferred offer_all below: otherwise the
+  // slot release of the *last finishing map* — almost always on the
+  // slowest node — would synchronously grab the first (largest) reducer.
+  sim_->schedule_after(0.0, [this]() {
+    reduce_ready_ = true;
+    rm_.offer_all();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reduce phase
+// ---------------------------------------------------------------------------
+
+void JobDriver::enqueue_reducers() {
+  total_intermediate_ = 0;
+  for (const MiB m : intermediate_on_node_) total_intermediate_ += m;
+
+  std::uint32_t total = job_.num_reducers;
+  if (total == 0) {
+    // Auto-sizing: one reducer per reducer_input_target MiB, at most one
+    // wave across the cluster.
+    total = static_cast<std::uint32_t>(
+        std::ceil(total_intermediate_ / params_.reducer_input_target));
+    total = std::clamp<std::uint32_t>(total, 1, rm_.total_slots());
+  }
+
+  // Partition weights: uniform, or Zipf(s) for key-skewed jobs. Reducers
+  // are dispatched largest-first (Hadoop sorts pending reduces by size for
+  // the skewed case via partition sampling; FIFO for uniform).
+  std::vector<double> weights(total, 1.0);
+  if (job_.reduce_key_skew > 0.0) {
+    for (std::uint32_t r = 0; r < total; ++r) {
+      weights[r] =
+          1.0 / std::pow(static_cast<double>(r + 1), job_.reduce_key_skew);
+    }
+  }
+  double weight_sum = 0;
+  for (const double w : weights) weight_sum += w;
+
+  for (std::uint32_t r = 0; r < total; ++r) {
+    auto task = std::make_unique<ReduceTask>();
+    task->id = kReduceIdBase + r;
+    task->share = weights[r] / weight_sum;
+    task->input = total_intermediate_ * task->share;
+    reduce_tasks_.push_back(std::move(task));
+  }
+}
+
+bool JobDriver::dispatch_reduce(NodeId node) {
+  // Reduce tasks bind to containers dynamically: the next pending reducer
+  // goes to whichever container frees first — unless the scheduler's
+  // placement policy declines this node (FlexMap's c^2 bias). Reducers
+  // re-queued by node failures go first.
+  if (!reduce_ready_) return false;
+  const bool from_requeue = !reduce_requeue_.empty();
+  if (!from_requeue && next_reducer_ >= reduce_tasks_.size()) return false;
+  if (!reduce_force_dispatch_ && !scheduler_->accept_reducer(*this, node)) {
+    // The paper's placement loop redraws immediately until some node
+    // accepts; approximate that with a short retry instead of waiting a
+    // full heartbeat (one pending retry event at a time). If several
+    // consecutive retry rounds place nothing — a stale placement policy,
+    // e.g. quotas computed before a node failure — bypass the bias so the
+    // phase can never wedge.
+    if (!reduce_reoffer_pending_) {
+      reduce_reoffer_pending_ = true;
+      sim_->schedule_after(1.0, [this]() {
+        reduce_reoffer_pending_ = false;
+        if (done_) return;
+        // A wedge means nothing is running AND nothing got placed: queued
+        // reducers waiting for busy fast nodes are fine — that wait is the
+        // placement bias working as intended.
+        if (running_reduce_count_ == 0 && running_map_count_ == 0 &&
+            reducers_started_ == reducers_started_snapshot_) {
+          if (++reduce_declined_rounds_ >= 5) reduce_force_dispatch_ = true;
+        } else {
+          reduce_declined_rounds_ = 0;
+        }
+        reducers_started_snapshot_ = reducers_started_;
+        rm_.offer_all();
+      });
+    }
+    return false;
+  }
+  std::size_t idx;
+  if (from_requeue) {
+    idx = reduce_requeue_.front();
+    reduce_requeue_.erase(reduce_requeue_.begin());
+  } else {
+    idx = next_reducer_++;
+  }
+  ++reducers_started_;
+
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.node = node;
+  task.remote =
+      (total_intermediate_ - intermediate_on_node_[node]) * task.share;
+  if (params_.exec_noise_sigma > 0) {
+    const double sigma = params_.exec_noise_sigma;
+    task.exec_noise = std::exp(-sigma * sigma / 2.0 + sigma * rng_.normal());
+  }
+  task.dispatch_time = sim_->now();
+  ++running_reduce_count_;
+  const SimDuration startup =
+      params_.container_alloc_s + params_.jvm_startup_s;
+  task.pending_event = sim_->schedule_after(
+      startup, [this, idx]() { reduce_fetch_start(idx); });
+  return true;
+}
+
+void JobDriver::reduce_fetch_start(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.phase = TaskPhase::kFetching;
+  task.compute_start = sim_->now();
+  const MiBps nic = cluster_->machine(task.node).spec().nic_bandwidth;
+  const SimDuration fetch =
+      task.remote / nic * (1.0 - params_.shuffle_overlap);
+  task.pending_event = sim_->schedule_after(
+      fetch, [this, idx]() { reduce_compute_start(idx); });
+}
+
+double JobDriver::reduce_rate(const ReduceTask& task) const {
+  return cluster_->machine(task.node).effective_ips() /
+         (job_.reduce_cost * task.exec_noise);
+}
+
+void JobDriver::reduce_compute_start(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.phase = TaskPhase::kComputing;
+  if (task.input <= 0.0) {
+    task.pending_event = kInvalidEvent;
+    reduce_complete(idx);
+    return;
+  }
+  task.integrator.emplace(task.input, reduce_rate(task), sim_->now());
+  const auto eta = task.integrator->eta(sim_->now());
+  FLEXMR_ASSERT(eta.has_value());
+  task.pending_event =
+      sim_->schedule_at(*eta, [this, idx]() { reduce_complete(idx); });
+}
+
+void JobDriver::reduce_complete(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.phase = TaskPhase::kDone;
+  task.pending_event = kInvalidEvent;
+  --running_reduce_count_;
+
+  TaskRecord rec;
+  rec.id = task.id;
+  rec.node = task.node;
+  rec.kind = TaskKind::kReduce;
+  rec.status = TaskStatus::kCompleted;
+  rec.dispatch_time = task.dispatch_time;
+  rec.compute_start = task.compute_start;
+  rec.end_time = sim_->now();
+  rec.input_mib = task.input;
+  rec.phase_progress_at_end = 1.0;
+  result_.tasks.push_back(rec);
+
+  ++reducers_done_;
+  if (reducers_done_ == reduce_tasks_.size()) {
+    finish_job();
+    return;
+  }
+  rm_.release(task.node);
+}
+
+void JobDriver::finish_job() {
+  done_ = true;
+  result_.finish_time = sim_->now();
+  if (result_.map_phase_end == 0) result_.map_phase_end = sim_->now();
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats, speed changes, observability
+// ---------------------------------------------------------------------------
+
+void JobDriver::heartbeat() {
+  if (done_) return;
+
+  // Per node: average the Eq. 3 IPS samples of this round — completions
+  // since the last round plus containers that have been running for at
+  // least a full heartbeat period (younger containers are still dominated
+  // by startup and report nothing useful yet). The previous estimate is
+  // retained when a node produced no sample this round.
+  std::vector<double> sum(cluster_->num_nodes(), 0.0);
+  std::vector<std::uint32_t> cnt(cluster_->num_nodes(), 0);
+  for (const auto& task : map_tasks_) {
+    if (task->phase != TaskPhase::kComputing) continue;
+    const SimDuration computing = sim_->now() - task->compute_start;
+    if (computing < params_.heartbeat_period_s) continue;
+    const MiB read = task->integrator->done(sim_->now());
+    if (read <= 0) continue;
+    sum[task->node] += read / computing;
+    ++cnt[task->node];
+  }
+  for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+    for (const double sample : pending_ips_samples_[node]) {
+      sum[node] += sample;
+      ++cnt[node];
+    }
+    pending_ips_samples_[node].clear();
+    if (cnt[node] > 0) round_ips_[node] = sum[node] / cnt[node];
+    scheduler_->on_heartbeat(*this, node);
+  }
+
+  // Re-offer idle slots: speculation/mitigation opportunities appear as
+  // progress evolves, not only when slots free up.
+  rm_.offer_all();
+
+  // Deadlock guard: unprocessed input, nothing running, and every slot
+  // declined means the scheduler wedged itself.
+  if (!map_phase_done_ && running_map_count_ == 0 &&
+      index_.unprocessed() > 0 && rm_.total_free() == rm_.total_slots()) {
+    throw InvariantError("scheduler declined all slots with work pending");
+  }
+
+  sim_->schedule_after(params_.heartbeat_period_s, [this]() { heartbeat(); });
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+void JobDriver::schedule_node_failure(NodeId node, SimTime time) {
+  FLEXMR_ASSERT_MSG(!started_, "schedule failures before run()");
+  FLEXMR_ASSERT(node < cluster_->num_nodes());
+  planned_failures_.emplace_back(node, time);
+}
+
+void JobDriver::fail_node(NodeId node) {
+  // Guard on *this driver's* bookkeeping, not the RM: with a shared RM
+  // another job's driver may already have marked the node dead, but this
+  // job's tasks there still need cleaning up.
+  if (done_ || failed_nodes_.count(node) > 0) return;
+  failed_nodes_.insert(node);
+  if (!rm_.is_dead(node)) {
+    FLEXMR_ASSERT_MSG(rm_.total_slots() > cluster_->machine(node).slots(),
+                      "cannot fail the last alive node");
+    rm_.mark_dead(node);
+  }
+
+  std::vector<BlockUnitId> reclaimed;
+
+  // 1. Kill the node's running map containers. Work covered by a living
+  //    speculative twin survives with the twin; everything else returns
+  //    to the pool.
+  for (auto& owned : map_tasks_) {
+    MapTask& task = *owned;
+    if (task.node != node || task.phase == TaskPhase::kDone) continue;
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    task.phase = TaskPhase::kDone;
+    --running_map_count_;
+    const MiB consumed =
+        task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+    record_map(task, TaskStatus::kKilled, consumed, 0);
+    if (task.twin != kInvalidTask) {
+      MapTask& twin = *map_tasks_[task.twin];
+      const bool twin_survives =
+          !(twin.node == node && twin.phase != TaskPhase::kDone);
+      twin.twin = kInvalidTask;
+      task.twin = kInvalidTask;
+      if (twin_survives) {
+        task.bus.clear();  // the twin covers this work now
+      } else if (!task.speculative) {
+        // Both copies die on this node; the original returns the BUs
+        // (the copy's list is a duplicate and must not be put back too).
+        index_.put_back(task.bus);
+        reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
+        task.bus.clear();
+        task.size = 0;
+      } else {
+        task.bus.clear();
+      }
+    } else if (!task.speculative) {
+      index_.put_back(task.bus);
+      reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
+      task.bus.clear();
+      task.size = 0;
+    } else {
+      task.bus.clear();  // orphaned copy: duplicate of the original's list
+    }
+  }
+
+  // 2. Lost map outputs: if the shuffle still needs them (reduce phase
+  //    not yet planned), every credited map on the node re-executes.
+  if (!job_.map_only() && !map_phase_done_) {
+    for (auto& owned : map_tasks_) {
+      MapTask& task = *owned;
+      if (task.node != node || !task.credited || task.output_lost) continue;
+      task.output_lost = true;
+      task.credited = false;
+      processed_bus_ -= task.bus.size();
+      index_.put_back(task.bus);
+      reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
+      // Re-label the task's record: its work no longer counts.
+      for (auto it = result_.tasks.rbegin(); it != result_.tasks.rend();
+           ++it) {
+        if (it->id == task.id && it->kind == TaskKind::kMap) {
+          it->status = TaskStatus::kLostOutput;
+          it->num_bus = 0;
+          break;
+        }
+      }
+      task.bus.clear();
+    }
+    intermediate_on_node_[node] = 0.0;
+  }
+
+  // 3. Reduce phase: re-queue the node's running reducers. (Map-output
+  //    loss after the shuffle has started is not modeled — re-dispatched
+  //    reducers refetch as if the outputs survived; see header.)
+  if (map_phase_done_) {
+    for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
+      ReduceTask& task = *reduce_tasks_[idx];
+      if (task.node != node || task.phase == TaskPhase::kDone) continue;
+      if (task.node == kInvalidNode) continue;  // not yet dispatched
+      if (task.pending_event != kInvalidEvent) {
+        sim_->cancel(task.pending_event);
+        task.pending_event = kInvalidEvent;
+      }
+      task.node = kInvalidNode;
+      task.phase = TaskPhase::kStarting;
+      task.integrator.reset();
+      --running_reduce_count_;
+      reduce_requeue_.push_back(idx);
+    }
+  }
+
+  scheduler_->on_node_failed(*this, node, reclaimed);
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+}
+
+void JobDriver::on_speed_change(NodeId node) {
+  for (auto& task : map_tasks_) {
+    if (task->node != node || task->phase != TaskPhase::kComputing) continue;
+    task->integrator->set_rate(sim_->now(), map_rate(*task));
+    reschedule_map_completion(*task);
+  }
+  for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
+    ReduceTask& task = *reduce_tasks_[idx];
+    if (task.node != node || task.phase != TaskPhase::kComputing) continue;
+    task.integrator->set_rate(sim_->now(), reduce_rate(task));
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+    }
+    const auto eta = task.integrator->eta(sim_->now());
+    FLEXMR_ASSERT(eta.has_value());
+    task.pending_event =
+        sim_->schedule_at(*eta, [this, idx]() { reduce_complete(idx); });
+  }
+}
+
+std::vector<RunningMapInfo> JobDriver::running_maps() const {
+  std::vector<RunningMapInfo> out;
+  for (const auto& task : map_tasks_) {
+    if (task->phase == TaskPhase::kDone) continue;
+    RunningMapInfo info;
+    info.id = task->id;
+    info.node = task->node;
+    info.size_mib = task->size;
+    info.computing = task->phase == TaskPhase::kComputing;
+    info.bytes_read =
+        info.computing ? task->integrator->done(sim_->now()) : 0.0;
+    info.progress = task->size > 0 ? info.bytes_read / task->size : 0.0;
+    info.dispatch_time = task->dispatch_time;
+    info.speculative = task->speculative;
+    info.has_twin = task->twin != kInvalidTask;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::optional<MiBps> JobDriver::observed_ips(NodeId node) const {
+  FLEXMR_ASSERT(node < round_ips_.size());
+  return round_ips_[node];
+}
+
+double JobDriver::map_phase_progress() const {
+  return static_cast<double>(processed_bus_) /
+         static_cast<double>(layout_->bus.size());
+}
+
+}  // namespace flexmr::mr

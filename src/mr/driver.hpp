@@ -1,0 +1,240 @@
+// JobDriver: executes one MapReduce job on a simulated cluster under a
+// pluggable Scheduler. It plays the roles the paper assigns to the YARN
+// AppMaster and MRAppMaster JobImpl: requesting containers, dispatching
+// tasks, tracking progress, running the heartbeat loop, and enforcing the
+// exactly-once block-unit invariant.
+//
+// Mechanism/policy split: ALL state machines live here; Scheduler only
+// decides what to launch where (see mr/scheduler.hpp).
+//
+// Task timeline (maps):
+//   dispatch ──(container_alloc + jvm_startup [+ extra])──▶ compute start
+//   compute ──(rate-integrated at node speed / cost)──▶ completion
+// Interference changes re-rate the integrator and re-schedule the
+// cancellable completion event.
+//
+// Reduce phase: starts when the last BU is credited. Reducer r gets weight
+// w_r of every map output; its fetch moves the non-node-local share over
+// the NIC (discounted by shuffle_overlap for the early-shuffle Hadoop
+// performs), then reduce compute is rate-integrated like a map.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "hdfs/block_index.hpp"
+#include "mr/job.hpp"
+#include "mr/metrics.hpp"
+#include "mr/params.hpp"
+#include "mr/scheduler.hpp"
+#include "simcore/rate_integrator.hpp"
+#include "simcore/simulator.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace flexmr::mr {
+
+class JobDriver final : public DriverContext {
+ public:
+  /// Single-job form: the driver owns a ResourceManager over the whole
+  /// cluster, arms the interference models, and drives the simulator
+  /// itself (via run()).
+  JobDriver(Simulator& sim, cluster::Cluster& cluster,
+            const hdfs::FileLayout& layout, JobSpec job, SimParams params,
+            Scheduler& scheduler);
+
+  /// Shared-cluster form (used by MultiJobCoordinator): container offers
+  /// arrive through `shared_rm`, whose offer handler and the cluster's
+  /// interference arming belong to the coordinator. Use start()/done(),
+  /// not run().
+  JobDriver(Simulator& sim, cluster::Cluster& cluster,
+            const hdfs::FileLayout& layout, JobSpec job, SimParams params,
+            Scheduler& scheduler, yarn::ResourceManager& shared_rm);
+
+  /// Runs the job to completion and returns its metrics. One-shot.
+  /// Only valid in the single-job form.
+  JobResult run();
+
+  /// Registers the job (heartbeats, failures, initial offers) without
+  /// stepping the simulator. The owner steps until done().
+  void start();
+  bool done() const { return done_; }
+  const JobResult& result() const { return result_; }
+
+  /// Offers one free container on `node`; returns true if consumed.
+  /// (The RM calls this through the installed handler in single-job mode;
+  /// a coordinator calls it directly in shared mode.)
+  bool offer(NodeId node) { return handle_offer(node); }
+
+  /// Containers currently held by this job (running maps + reduces).
+  std::uint32_t slots_in_use() const {
+    return static_cast<std::uint32_t>(running_map_count_ +
+                                      running_reduce_count_);
+  }
+
+  /// Failure injection: node `node` dies at absolute sim time `time`.
+  /// Must be called before run(). Semantics: the node's containers are
+  /// killed, its slots withdrawn, and — unless the job is map-only or the
+  /// shuffle already started — the *input* of every map whose output
+  /// lived on the node is re-executed elsewhere (the standard MapReduce
+  /// recovery path). Output loss after the shuffle has started is not
+  /// modeled: re-queued reducers refetch as if map outputs survived.
+  void schedule_node_failure(NodeId node, SimTime time);
+
+  // --- DriverContext ---
+  SimTime now() const override { return sim_->now(); }
+  const JobSpec& job() const override { return job_; }
+  const SimParams& params() const override { return params_; }
+  const hdfs::FileLayout& layout() const override { return *layout_; }
+  hdfs::BlockLocationIndex& index() override { return index_; }
+  std::uint32_t num_nodes() const override { return cluster_->num_nodes(); }
+  const cluster::MachineSpec& machine_spec(NodeId node) const override {
+    return cluster_->machine(node).spec();
+  }
+  std::uint32_t free_slots(NodeId node) const override {
+    return rm_.free_slots(node);
+  }
+  std::uint32_t total_free_slots() const override { return rm_.total_free(); }
+  std::uint32_t total_slots() const override { return rm_.total_slots(); }
+  std::vector<RunningMapInfo> running_maps() const override;
+  std::optional<MiBps> observed_ips(NodeId node) const override;
+  double map_phase_progress() const override;
+  std::size_t total_bus() const override { return layout_->bus.size(); }
+  std::size_t processed_bus() const override { return processed_bus_; }
+  std::size_t unassigned_bus() const override {
+    return index_.unprocessed();
+  }
+  std::uint32_t total_reducers() const override {
+    return static_cast<std::uint32_t>(reduce_tasks_.size());
+  }
+  MiB next_reducer_input() const override {
+    if (!reduce_requeue_.empty()) {
+      return reduce_tasks_[reduce_requeue_.front()]->input;
+    }
+    if (next_reducer_ < reduce_tasks_.size()) {
+      return reduce_tasks_[next_reducer_]->input;
+    }
+    return 0;
+  }
+  MiB mean_reducer_input() const override {
+    return reduce_tasks_.empty()
+               ? 0.0
+               : total_intermediate_ /
+                     static_cast<double>(reduce_tasks_.size());
+  }
+  bool node_alive(NodeId node) const override {
+    return !rm_.is_dead(node);
+  }
+  std::vector<BlockUnitId> kill_and_reclaim(TaskId task) override;
+
+ private:
+  enum class TaskPhase { kStarting, kFetching, kComputing, kDone };
+
+  struct MapTask {
+    TaskId id = 0;
+    NodeId node = 0;
+    std::vector<BlockUnitId> bus;
+    MiB size = 0;
+    double avg_cost = 1.0;       ///< Size-weighted mean BU cost.
+    double local_fraction = 1.0; ///< Bytes with a replica on `node`.
+    bool speculative = false;
+    TaskId twin = kInvalidTask;  ///< Original/copy counterpart, if any.
+    bool credited = false;       ///< Completed (or partial) and counted.
+    bool output_lost = false;    ///< Host failed; input was re-queued.
+    /// Per-attempt execution-time multiplier (GC pauses, I/O variance —
+    /// lognormal with unit mean). Twins draw independently.
+    double exec_noise = 1.0;
+    SimTime dispatch_time = 0;
+    SimTime compute_start = 0;
+    TaskPhase phase = TaskPhase::kStarting;
+    std::optional<RateIntegrator> integrator;
+    EventId pending_event = kInvalidEvent;
+  };
+
+  struct ReduceTask {
+    TaskId id = 0;
+    NodeId node = kInvalidNode;  ///< Assigned at dispatch (late binding).
+    double share = 0;            ///< Fraction of intermediate data.
+    MiB input = 0;
+    MiB remote = 0;
+    double exec_noise = 1.0;
+    SimTime dispatch_time = 0;
+    SimTime compute_start = 0;
+    TaskPhase phase = TaskPhase::kStarting;
+    std::optional<RateIntegrator> integrator;
+    EventId pending_event = kInvalidEvent;
+  };
+
+  bool handle_offer(NodeId node);
+  void dispatch_map(NodeId node, MapLaunch launch);
+  void map_compute_start(TaskId id);
+  void map_complete(TaskId id);
+  void kill_map(TaskId id, TaskStatus final_status);
+  void record_map(const MapTask& task, TaskStatus status, MiB consumed,
+                  std::uint32_t credited_bus);
+  void finish_map_phase();
+
+  void enqueue_reducers();
+  bool dispatch_reduce(NodeId node);
+  void reduce_fetch_start(std::size_t idx);
+  void reduce_compute_start(std::size_t idx);
+  void reduce_complete(std::size_t idx);
+
+  void heartbeat();
+  void on_speed_change(NodeId node);
+  void fail_node(NodeId node);
+  double map_rate(const MapTask& task) const;
+  double reduce_rate(const ReduceTask& task) const;
+  void reschedule_map_completion(MapTask& task);
+  void finish_job();
+
+  Simulator* sim_;
+  cluster::Cluster* cluster_;
+  const hdfs::FileLayout* layout_;
+  JobSpec job_;
+  SimParams params_;
+  Scheduler* scheduler_;
+
+  hdfs::BlockLocationIndex index_;
+  std::unique_ptr<yarn::ResourceManager> owned_rm_;  ///< Single-job mode.
+  yarn::ResourceManager& rm_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<MapTask>> map_tasks_;   // id == index
+  std::vector<std::unique_ptr<ReduceTask>> reduce_tasks_;
+  std::size_t next_reducer_ = 0;  ///< Global FIFO dispatch cursor.
+  MiB total_intermediate_ = 0;
+  std::vector<MiB> intermediate_on_node_;
+  std::vector<std::optional<MiBps>> round_ips_;
+  /// IPS samples from maps that completed since the last heartbeat round
+  /// (Eq. 3 evaluated at task end — the reliable reading for tasks shorter
+  /// than a heartbeat period).
+  std::vector<std::vector<double>> pending_ips_samples_;
+
+  std::size_t processed_bus_ = 0;
+  std::size_t reducers_done_ = 0;
+  std::size_t running_reduce_count_ = 0;
+  bool reduce_reoffer_pending_ = false;
+  bool reduce_ready_ = false;
+  /// Consecutive reduce re-offer rounds where every slot declined; after
+  /// a few, placement bias is bypassed so a buggy/stale policy can never
+  /// wedge the reduce phase (e.g. quotas computed before a node failure).
+  std::uint32_t reduce_declined_rounds_ = 0;
+  std::size_t reducers_started_ = 0;
+  std::size_t reducers_started_snapshot_ = 0;
+  bool reduce_force_dispatch_ = false;
+  std::vector<std::size_t> reduce_requeue_;  ///< Reducers lost to failures.
+  std::vector<std::pair<NodeId, SimTime>> planned_failures_;
+  std::set<NodeId> failed_nodes_;  ///< Failures this driver has handled.
+  std::size_t running_map_count_ = 0;
+  bool map_phase_done_ = false;
+  bool done_ = false;
+  bool started_ = false;
+
+  JobResult result_;
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,36 @@
+// Job specification: the workload-facing description of one MapReduce job.
+//
+// Costs are expressed relative to the reference workload (wordcount = 1.0):
+// a machine whose base_ips is 10 MiB/s processes cost-1.0 map input at
+// 10 MiB/s and cost-2.0 input at 5 MiB/s. Data skew lives in the per-BU
+// cost factors of the FileLayout, not here, so every scheduler sees the
+// identical input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace flexmr::mr {
+
+struct JobSpec {
+  std::string name = "job";
+  MiB input_size = 1024.0;
+
+  /// CPU cost per MiB of map input, relative to wordcount.
+  double map_cost = 1.0;
+  /// Intermediate bytes produced per map-input byte (0 = map-only).
+  double shuffle_ratio = 0.2;
+  /// CPU cost per MiB of reduce input, relative to wordcount's map cost.
+  double reduce_cost = 0.5;
+
+  /// Number of reduce tasks; 0 = one wave (cluster's total slots).
+  std::uint32_t num_reducers = 0;
+  /// Zipf exponent for reducer partition sizes; 0 = uniform partitions.
+  double reduce_key_skew = 0.0;
+
+  bool map_only() const { return shuffle_ratio <= 0.0; }
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,75 @@
+#include "mr/metrics.hpp"
+
+namespace flexmr::mr {
+
+SimDuration JobResult::map_serial_runtime() const {
+  SimDuration total = 0;
+  for (const auto& task : tasks) {
+    if (task.kind == TaskKind::kMap &&
+        (task.status == TaskStatus::kCompleted ||
+         task.status == TaskStatus::kPartialCompleted)) {
+      total += task.total_runtime();
+    }
+  }
+  return total;
+}
+
+double JobResult::efficiency() const {
+  const SimDuration phase = map_phase_runtime();
+  if (phase <= 0 || total_slots == 0) return 0.0;
+  return map_serial_runtime() /
+         (phase * static_cast<double>(total_slots));
+}
+
+double JobResult::mean_map_productivity() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& task : tasks) {
+    if (task.kind == TaskKind::kMap &&
+        task.status == TaskStatus::kCompleted) {
+      sum += task.productivity();
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+SampleSet JobResult::map_runtimes() const {
+  SampleSet set;
+  for (const auto& task : tasks) {
+    if (task.kind == TaskKind::kMap &&
+        task.status == TaskStatus::kCompleted) {
+      set.add(task.total_runtime());
+    }
+  }
+  return set;
+}
+
+SimDuration JobResult::wasted_slot_time() const {
+  SimDuration total = 0;
+  for (const auto& task : tasks) {
+    if (task.status == TaskStatus::kKilled ||
+        task.status == TaskStatus::kLostOutput) {
+      total += task.total_runtime();
+    }
+  }
+  return total;
+}
+
+std::size_t JobResult::count(TaskKind kind, TaskStatus status) const {
+  std::size_t n = 0;
+  for (const auto& task : tasks) {
+    if (task.kind == kind && task.status == status) ++n;
+  }
+  return n;
+}
+
+std::size_t JobResult::map_tasks_launched() const {
+  std::size_t n = 0;
+  for (const auto& task : tasks) {
+    if (task.kind == TaskKind::kMap) ++n;
+  }
+  return n;
+}
+
+}  // namespace flexmr::mr

@@ -1,0 +1,108 @@
+// Experiment metrics, defined exactly as in the paper (§II-C):
+//
+//   Productivity = effective runtime / total runtime            (Eq. 1)
+//   Efficiency   = serial runtime /
+//                  (map-phase runtime × #available containers)  (Eq. 2)
+//
+// where effective runtime excludes container allocation and JVM startup,
+// serial runtime is approximated by the sum of all (successful) map task
+// runtimes, and the map-phase runtime spans first container start to last
+// map container stop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::mr {
+
+enum class TaskKind { kMap, kReduce };
+
+enum class TaskStatus {
+  kCompleted,         ///< Ran to the end of its input split.
+  kPartialCompleted,  ///< Stopped early but its consumed prefix is kept
+                      ///< (SkewTune straggler mitigation).
+  kKilled,            ///< Work discarded (losing speculative copy, or
+                      ///< running on a node when it failed).
+  kLostOutput,        ///< Completed, but its host node failed before the
+                      ///< output was consumed; the input re-executes.
+};
+
+struct TaskRecord {
+  TaskId id = 0;
+  NodeId node = 0;
+  TaskKind kind = TaskKind::kMap;
+  TaskStatus status = TaskStatus::kCompleted;
+  bool speculative = false;
+
+  SimTime dispatch_time = 0;   ///< Container granted; overheads begin.
+  SimTime compute_start = 0;   ///< First input byte read (post-JVM).
+  SimTime end_time = 0;
+
+  MiB input_mib = 0;           ///< Input consumed (maps) / fetched (reduces).
+  std::uint32_t num_bus = 0;   ///< BUs credited to this task.
+  /// Fraction of the map input with a replica on the host node (1 for
+  /// reduces; locality is a map-side notion here).
+  double local_fraction = 1.0;
+  /// Map-phase progress (0..1) at the moment this task ended.
+  double phase_progress_at_end = 0;
+
+  SimDuration total_runtime() const { return end_time - dispatch_time; }
+  SimDuration effective_runtime() const {
+    return compute_start > 0 && end_time > compute_start
+               ? end_time - compute_start
+               : 0.0;
+  }
+  /// Eq. 1.
+  double productivity() const {
+    const double total = total_runtime();
+    return total > 0 ? effective_runtime() / total : 0.0;
+  }
+  bool credited() const {
+    return (status == TaskStatus::kCompleted ||
+            status == TaskStatus::kPartialCompleted) &&
+           num_bus > 0;
+  }
+};
+
+struct JobResult {
+  std::string benchmark;
+  std::string scheduler;
+  std::uint32_t total_slots = 0;
+
+  SimTime submit_time = 0;
+  SimTime map_phase_start = 0;  ///< First map container dispatch.
+  SimTime map_phase_end = 0;    ///< Last map container stop.
+  SimTime finish_time = 0;
+
+  std::vector<TaskRecord> tasks;
+
+  SimDuration jct() const { return finish_time - submit_time; }
+  SimDuration map_phase_runtime() const {
+    return map_phase_end - map_phase_start;
+  }
+
+  /// Sum of successful map tasks' total runtimes (the paper's serial-
+  /// runtime approximation).
+  SimDuration map_serial_runtime() const;
+
+  /// Eq. 2. Uses total_slots as "# of available containers".
+  double efficiency() const;
+
+  /// Mean productivity over completed map tasks.
+  double mean_map_productivity() const;
+
+  /// Total runtimes of completed map tasks (Fig. 1 / Fig. 3a material).
+  SampleSet map_runtimes() const;
+
+  /// Slot-seconds consumed by killed tasks (speculation waste).
+  SimDuration wasted_slot_time() const;
+
+  std::size_t count(TaskKind kind, TaskStatus status) const;
+  std::size_t map_tasks_launched() const;
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,91 @@
+#include "mr/multi_job.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr::mr {
+
+MultiJobCoordinator::MultiJobCoordinator(Simulator& sim,
+                                         cluster::Cluster& cluster,
+                                         SharePolicy policy)
+    : sim_(&sim),
+      cluster_(&cluster),
+      policy_(policy),
+      rm_(cluster),
+      rng_(0x5eedc0ffee123ULL) {}
+
+std::size_t MultiJobCoordinator::submit(const hdfs::FileLayout& layout,
+                                        JobSpec spec, SimParams params,
+                                        Scheduler& scheduler,
+                                        SimTime submit_time) {
+  FLEXMR_ASSERT_MSG(!ran_, "submit before run_all");
+  Entry entry;
+  entry.driver = std::make_unique<JobDriver>(
+      *sim_, *cluster_, layout, std::move(spec), params, scheduler, rm_);
+  entry.submit_time = submit_time;
+  jobs_.push_back(std::move(entry));
+  return jobs_.size() - 1;
+}
+
+bool MultiJobCoordinator::handle_offer(NodeId node) {
+  // Candidate jobs: started, unfinished — ordered by policy.
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    if (jobs_[j].started && !jobs_[j].driver->done()) order.push_back(j);
+  }
+  if (policy_ == SharePolicy::kFair) {
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return jobs_[a].driver->slots_in_use() <
+                              jobs_[b].driver->slots_in_use();
+                     });
+  }
+  for (const std::size_t j : order) {
+    if (jobs_[j].driver->offer(node)) return true;
+  }
+  return false;
+}
+
+void MultiJobCoordinator::schedule_node_failure(NodeId node, SimTime time) {
+  FLEXMR_ASSERT_MSG(!ran_, "schedule failures before run_all");
+  for (auto& entry : jobs_) {
+    entry.driver->schedule_node_failure(node, time);
+  }
+}
+
+std::vector<JobResult> MultiJobCoordinator::run_all() {
+  FLEXMR_ASSERT_MSG(!ran_, "run_all is one-shot");
+  FLEXMR_ASSERT_MSG(!jobs_.empty(), "no jobs submitted");
+  ran_ = true;
+
+  cluster_->start(*sim_, rng_);
+  rm_.set_offer_handler([this](NodeId node) { return handle_offer(node); });
+
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    sim_->schedule_at(jobs_[j].submit_time, [this, j]() {
+      jobs_[j].started = true;
+      jobs_[j].driver->start();
+    });
+  }
+
+  auto all_done = [this]() {
+    return std::all_of(jobs_.begin(), jobs_.end(), [](const Entry& e) {
+      return e.started && e.driver->done();
+    });
+  };
+  while (!all_done()) {
+    if (!sim_->step()) {
+      throw InvariantError("simulation ran dry with unfinished jobs");
+    }
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(jobs_.size());
+  for (const auto& entry : jobs_) {
+    results.push_back(entry.driver->result());
+  }
+  return results;
+}
+
+}  // namespace flexmr::mr

@@ -1,0 +1,67 @@
+// MultiJobCoordinator: several MapReduce jobs sharing one cluster.
+//
+// The coordinator owns the shared ResourceManager's offer handler and
+// arbitrates every freed container between the submitted jobs:
+//   * kFifo — the earliest-submitted unfinished job gets first refusal;
+//     work-conserving (a job with nothing to launch passes the offer on),
+//   * kFair — jobs are offered in ascending order of containers currently
+//     held, converging to equal shares while all are busy.
+//
+// Each job keeps its own scheduler (so a FlexMap job and a stock job can
+// share a cluster), its own heartbeat loop, and all single-job
+// invariants; only slot arbitration is centralized — which is exactly how
+// YARN splits responsibilities between the RM scheduler and per-job AMs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/driver.hpp"
+
+namespace flexmr::mr {
+
+enum class SharePolicy {
+  kFifo,
+  kFair,
+};
+
+class MultiJobCoordinator {
+ public:
+  MultiJobCoordinator(Simulator& sim, cluster::Cluster& cluster,
+                      SharePolicy policy);
+
+  /// Submits a job entering the cluster at `submit_time`. `layout` and
+  /// `scheduler` must outlive run_all(). Returns the job's index.
+  std::size_t submit(const hdfs::FileLayout& layout, JobSpec spec,
+                     SimParams params, Scheduler& scheduler,
+                     SimTime submit_time);
+
+  /// Failure injection: node `node` dies at `time` — for *every* job
+  /// (a NodeManager loss is cluster-wide). Call before run_all().
+  void schedule_node_failure(NodeId node, SimTime time);
+
+  /// Runs every submitted job to completion; results in submission order.
+  std::vector<JobResult> run_all();
+
+  yarn::ResourceManager& resource_manager() { return rm_; }
+
+ private:
+  bool handle_offer(NodeId node);
+
+  Simulator* sim_;
+  cluster::Cluster* cluster_;
+  SharePolicy policy_;
+  yarn::ResourceManager rm_;
+  Rng rng_;
+
+  struct Entry {
+    std::unique_ptr<JobDriver> driver;
+    SimTime submit_time = 0;
+    bool started = false;
+  };
+  std::vector<Entry> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,40 @@
+// Framework execution parameters (the knobs of Hadoop/YARN itself, as
+// opposed to the workload's JobSpec or the hardware's MachineSpec).
+//
+// Defaults are calibrated against the paper's measurements: with
+// container_alloc + jvm_startup = 2.0 s and a 10 MiB/s reference node, an
+// 8 MiB wordcount map has productivity 0.8 s / 2.8 s ≈ 0.29, matching the
+// ~0.28 reported for the smallest size in Fig. 3c.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace flexmr::mr {
+
+struct SimParams {
+  /// YARN container allocation latency per task.
+  SimDuration container_alloc_s = 0.5;
+  /// JVM startup cost per task (the overhead motivating coarse tasks).
+  SimDuration jvm_startup_s = 1.5;
+  /// Worker → AM heartbeat period (paper: 5 s).
+  SimDuration heartbeat_period_s = 5.0;
+  /// Fraction of reduce fetch hidden under the map phase by early shuffle.
+  double shuffle_overlap = 0.7;
+  /// Relative slowdown of map input read for each non-local byte
+  /// (10 GbE makes this small; §IV-F found remote BU access a non-issue).
+  double remote_read_penalty = 0.05;
+  /// Target reduce-task input when JobSpec::num_reducers is 0 (auto): the
+  /// reducer count is intermediate_size / this, clamped to [1, slots] —
+  /// the usual Hadoop sizing practice.
+  MiB reducer_input_target = 64.0;
+  /// Lognormal sigma of per-task-attempt execution noise (JVM GC, disk and
+  /// OS jitter). ~0.2 gives the 15-25% runtime CV typical of equal-sized
+  /// Hadoop map attempts on idle identical machines.
+  double exec_noise_sigma = 0.2;
+  /// RNG seed for this run (placement, interference, tie-breaking).
+  std::uint64_t seed = 1;
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,173 @@
+// Scheduler interface: the policy seam where stock Hadoop, LATE, SkewTune
+// and FlexMap plug in.
+//
+// The JobDriver (playing YARN AppMaster + MRAppMaster JobImpl) owns all
+// mechanism — task state machines, progress integration, BU accounting,
+// metrics. A Scheduler only makes decisions:
+//   * on_slot_free: a container is available on `node`; return what map
+//     task (if any) to dispatch there,
+//   * on_heartbeat / on_map_complete: observe progress,
+//   * place_reducer: choose the node for each reduce task.
+//
+// Schedulers observe the cluster ONLY through this context (observed IPS,
+// static specs, running-task progress) — never through ground-truth
+// machine multipliers — mirroring what a real AM can know.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+#include "hdfs/block_index.hpp"
+#include "mr/job.hpp"
+#include "mr/metrics.hpp"
+#include "mr/params.hpp"
+
+namespace flexmr::mr {
+
+/// Snapshot of one running (or starting) map task, as visible to an AM.
+struct RunningMapInfo {
+  TaskId id = kInvalidTask;
+  NodeId node = kInvalidNode;
+  MiB size_mib = 0;
+  MiB bytes_read = 0;          ///< HDFS_BYTES_READ so far.
+  double progress = 0;         ///< bytes_read / size_mib.
+  SimTime dispatch_time = 0;
+  bool computing = false;      ///< Past container/JVM startup.
+  bool speculative = false;
+  bool has_twin = false;       ///< A speculative copy of this task exists.
+};
+
+/// A map dispatch decision. Exactly one of the two forms:
+///  * data task: `bus` non-empty (taken from the context's index),
+///  * speculative copy: `speculative_of` set, `bus` empty.
+struct MapLaunch {
+  std::vector<BlockUnitId> bus;
+  TaskId speculative_of = kInvalidTask;
+  /// Extra pre-compute latency (SkewTune charges repartitioning here).
+  SimDuration extra_startup_s = 0;
+
+  bool is_speculative() const { return speculative_of != kInvalidTask; }
+};
+
+/// The driver-side services a scheduler may use. Implemented by JobDriver.
+class DriverContext {
+ public:
+  virtual ~DriverContext() = default;
+
+  virtual SimTime now() const = 0;
+  virtual const JobSpec& job() const = 0;
+  virtual const SimParams& params() const = 0;
+  virtual const hdfs::FileLayout& layout() const = 0;
+
+  /// Unprocessed-BU bookkeeping; taking BUs here commits them to the task
+  /// the scheduler is about to return.
+  virtual hdfs::BlockLocationIndex& index() = 0;
+
+  virtual std::uint32_t num_nodes() const = 0;
+  /// Static machine description (slot count, model). Observable: an AM
+  /// knows the hardware inventory but not current contention.
+  virtual const cluster::MachineSpec& machine_spec(NodeId node) const = 0;
+  virtual std::uint32_t free_slots(NodeId node) const = 0;
+  virtual std::uint32_t total_free_slots() const = 0;
+  virtual std::uint32_t total_slots() const = 0;
+
+  virtual std::vector<RunningMapInfo> running_maps() const = 0;
+
+  /// Observed input-processing speed of `node` (Eq. 3): the average IPS
+  /// reported by the node's containers in the most recent heartbeat round,
+  /// falling back to the last known value when the node is idle. nullopt
+  /// until the node has reported at least once.
+  virtual std::optional<MiBps> observed_ips(NodeId node) const = 0;
+
+  /// Fraction of the job's BUs already processed.
+  virtual double map_phase_progress() const = 0;
+  virtual std::size_t total_bus() const = 0;
+  virtual std::size_t processed_bus() const = 0;
+  /// BUs neither processed nor bound to a running task (== index()'s
+  /// unprocessed count, readable from const observers).
+  virtual std::size_t unassigned_bus() const = 0;
+
+  /// Reduce-task count of this job; 0 until the reduce phase is planned
+  /// (at map-phase end).
+  virtual std::uint32_t total_reducers() const = 0;
+
+  /// Input size of the reduce task the next accepted offer would receive
+  /// (0 when none is pending), and the mean reducer input. Key-skewed
+  /// jobs have a heavy head; placement policies use the ratio to keep
+  /// outsized reducers off slow nodes.
+  virtual MiB next_reducer_input() const = 0;
+  virtual MiB mean_reducer_input() const = 0;
+
+  /// False once `node` has failed (failure injection); a dead node is
+  /// never offered and holds no unprocessed replicas worth chasing.
+  virtual bool node_alive(NodeId node) const = 0;
+
+  /// Stops a running map task (SkewTune mitigation). Its consumed BU
+  /// prefix is credited as PartialCompleted; the unread suffix is returned
+  /// AND put back into the index for re-taking. The task's slot is freed
+  /// (re-offered on the next offer cycle, not synchronously).
+  virtual std::vector<BlockUnitId> kill_and_reclaim(TaskId task) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the first offer.
+  virtual void on_job_start(DriverContext& ctx) { (void)ctx; }
+
+  /// A free container on `node`: return a dispatch or nullopt to decline.
+  virtual std::optional<MapLaunch> on_slot_free(DriverContext& ctx,
+                                                NodeId node) = 0;
+
+  /// The driver assigned `task` to the launch just returned from
+  /// on_slot_free (lets a scheduler key per-task state by TaskId).
+  virtual void on_map_dispatch(DriverContext& ctx, TaskId task, NodeId node) {
+    (void)ctx;
+    (void)task;
+    (void)node;
+  }
+
+  /// A map task finished (status Completed or PartialCompleted).
+  virtual void on_map_complete(DriverContext& ctx, const TaskRecord& rec) {
+    (void)ctx;
+    (void)rec;
+  }
+
+  /// Heartbeat round for `node` just updated observed_ips(node).
+  virtual void on_heartbeat(DriverContext& ctx, NodeId node) {
+    (void)ctx;
+    (void)node;
+  }
+
+  /// `node` failed. Its running tasks were killed, and `reclaimed` BUs —
+  /// from those tasks plus any completed maps whose (unconsumed) output
+  /// lived there — have been returned to the context's index. A scheduler
+  /// that keeps its own pending-work bookkeeping must fold them back in.
+  virtual void on_node_failed(DriverContext& ctx, NodeId node,
+                              const std::vector<BlockUnitId>& reclaimed) {
+    (void)ctx;
+    (void)node;
+    (void)reclaimed;
+  }
+
+  /// During the reduce phase a container freed on `node` is offered for
+  /// the next pending reduce task; return false to leave the slot idle
+  /// (it will be re-offered on later cluster events / heartbeats).
+  /// Stock Hadoop accepts everywhere — reducers flow to whichever
+  /// container frees first. FlexMap overrides this with the paper's
+  /// c_i^2 acceptance sampling (§III-F).
+  virtual bool accept_reducer(DriverContext& ctx, NodeId node) {
+    (void)ctx;
+    (void)node;
+    return true;
+  }
+};
+
+}  // namespace flexmr::mr

@@ -1,0 +1,119 @@
+#include "mr/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace flexmr::mr {
+
+namespace {
+
+const char* kind_name(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
+const char* status_name(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kCompleted: return "completed";
+    case TaskStatus::kPartialCompleted: return "partial";
+    case TaskStatus::kKilled: return "killed";
+    case TaskStatus::kLostOutput: return "lost-output";
+  }
+  return "?";
+}
+
+char glyph(const TaskRecord& task) {
+  if (task.status == TaskStatus::kKilled ||
+      task.status == TaskStatus::kLostOutput) {
+    return 'x';
+  }
+  return task.kind == TaskKind::kMap ? '=' : '#';
+}
+
+}  // namespace
+
+std::string trace_csv(const JobResult& result) {
+  std::ostringstream os;
+  os << "id,kind,status,node,speculative,dispatch,compute_start,end,"
+        "input_mib,num_bus,productivity\n";
+  for (const auto& task : result.tasks) {
+    os << task.id << ',' << kind_name(task.kind) << ','
+       << status_name(task.status) << ',' << task.node << ','
+       << (task.speculative ? 1 : 0) << ',' << task.dispatch_time << ','
+       << task.compute_start << ',' << task.end_time << ','
+       << task.input_mib << ',' << task.num_bus << ','
+       << task.productivity() << '\n';
+  }
+  return os.str();
+}
+
+std::string gantt(const JobResult& result, const cluster::Cluster& cluster,
+                  std::size_t width) {
+  FLEXMR_ASSERT(width >= 10);
+  const SimTime t0 = result.submit_time;
+  const SimTime t1 = std::max(result.finish_time, t0 + 1e-9);
+  const double scale = static_cast<double>(width) / (t1 - t0);
+
+  // Assign each task to the first lane of its node that is free at its
+  // dispatch time (tasks sorted by dispatch → greedy packing is valid).
+  std::vector<const TaskRecord*> sorted;
+  sorted.reserve(result.tasks.size());
+  for (const auto& task : result.tasks) sorted.push_back(&task);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaskRecord* a, const TaskRecord* b) {
+              if (a->dispatch_time != b->dispatch_time) {
+                return a->dispatch_time < b->dispatch_time;
+              }
+              return a->id < b->id;
+            });
+
+  struct Lane {
+    NodeId node;
+    std::uint32_t slot;
+    SimTime busy_until = -1.0;
+    std::string row;
+  };
+  std::vector<Lane> lanes;
+  std::vector<std::size_t> first_lane(cluster.num_nodes());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    first_lane[n] = lanes.size();
+    for (std::uint32_t s = 0; s < cluster.machine(n).slots(); ++s) {
+      lanes.push_back(Lane{n, s, -1.0, std::string(width, '.')});
+    }
+  }
+
+  for (const TaskRecord* task : sorted) {
+    const std::size_t begin_lane = first_lane[task->node];
+    const std::size_t end_lane = begin_lane + cluster.machine(task->node).slots();
+    Lane* lane = nullptr;
+    for (std::size_t l = begin_lane; l < end_lane; ++l) {
+      if (lanes[l].busy_until <= task->dispatch_time + 1e-9) {
+        lane = &lanes[l];
+        break;
+      }
+    }
+    if (lane == nullptr) lane = &lanes[begin_lane];  // defensive fallback
+    lane->busy_until = task->end_time;
+    auto col = [&](SimTime t) {
+      const auto c = static_cast<std::size_t>((t - t0) * scale);
+      return std::min(c, width - 1);
+    };
+    const std::size_t from = col(task->dispatch_time);
+    const std::size_t to = std::max(from, col(task->end_time));
+    for (std::size_t c = from; c <= to; ++c) lane->row[c] = glyph(*task);
+  }
+
+  std::ostringstream os;
+  os << "t = " << t0 << " .. " << t1 << " s   ('=' map, '#' reduce, "
+     << "'x' killed, '.' idle)\n";
+  for (const auto& lane : lanes) {
+    os << "node " << lane.node;
+    if (lane.node < 10) os << ' ';
+    os << " slot " << lane.slot << " |" << lane.row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace flexmr::mr

@@ -1,0 +1,23 @@
+// Trace export and visualization for JobResults: a CSV task-timeline
+// writer for offline analysis, and an ASCII Gantt renderer that makes load
+// imbalance visible at a glance (one row per slot-lane per node, map tasks
+// as '=', reduce tasks as '#', killed work as 'x').
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "mr/metrics.hpp"
+
+namespace flexmr::mr {
+
+/// CSV with one row per task: id, kind, status, node, speculative,
+/// dispatch, compute_start, end, input_mib, num_bus, productivity.
+std::string trace_csv(const JobResult& result);
+
+/// ASCII Gantt chart of the job, `width` characters across the JCT span.
+/// Tasks are packed into per-node lanes (one per slot).
+std::string gantt(const JobResult& result, const cluster::Cluster& cluster,
+                  std::size_t width = 100);
+
+}  // namespace flexmr::mr

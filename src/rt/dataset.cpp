@@ -1,0 +1,51 @@
+#include "rt/dataset.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flexmr::rt {
+
+Dataset Dataset::generate_text(std::size_t num_chunks,
+                               std::size_t chunk_bytes, std::uint64_t seed,
+                               std::size_t vocabulary) {
+  FLEXMR_ASSERT(num_chunks > 0 && chunk_bytes > 0 && vocabulary > 0);
+  Dataset dataset;
+  dataset.chunks_.reserve(num_chunks);
+  Rng rng(seed);
+
+  // Zipf sampling over word ids via inverse-CDF on a precomputed table.
+  std::vector<double> cdf(vocabulary);
+  double acc = 0;
+  for (std::size_t i = 0; i < vocabulary; ++i) {
+    acc += 1.0 / static_cast<double>(i + 1);
+    cdf[i] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+
+  auto sample_word = [&]() {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::size_t>(it - cdf.begin());
+  };
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    std::string chunk;
+    chunk.reserve(chunk_bytes + 16);
+    while (chunk.size() < chunk_bytes) {
+      chunk += "w";
+      chunk += std::to_string(sample_word());
+      chunk += ' ';
+    }
+    dataset.chunks_.push_back(std::move(chunk));
+  }
+  return dataset;
+}
+
+std::size_t Dataset::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.size();
+  return total;
+}
+
+}  // namespace flexmr::rt

@@ -1,0 +1,36 @@
+// In-memory dataset for the real (threaded) mini-MapReduce runtime.
+//
+// A Dataset is text split into fixed-size *chunks* — the runtime analogue
+// of the simulator's 8 MB block units, scaled down so examples and tests
+// run in milliseconds. Content is generated deterministically from a seed:
+// space-separated words drawn from a Zipf-ish vocabulary, so wordcount and
+// grep have realistic key skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flexmr::rt {
+
+class Dataset {
+ public:
+  /// Generates `num_chunks` chunks of ~`chunk_bytes` each (chunks end at
+  /// word boundaries). `vocabulary` controls distinct-word count.
+  static Dataset generate_text(std::size_t num_chunks,
+                               std::size_t chunk_bytes,
+                               std::uint64_t seed,
+                               std::size_t vocabulary = 1000);
+
+  std::size_t num_chunks() const { return chunks_.size(); }
+  std::string_view chunk(std::size_t index) const { return chunks_[index]; }
+  std::size_t total_bytes() const;
+
+ private:
+  std::vector<std::string> chunks_;
+};
+
+}  // namespace flexmr::rt

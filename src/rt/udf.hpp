@@ -1,0 +1,96 @@
+// User-defined functions for the threaded runtime: the map/reduce
+// interface plus the built-in UDFs used by examples and tests.
+//
+// Keys are strings; values are 64-bit counts — enough for the counting-
+// style PUMA benchmarks (wordcount, grep, histogram) while keeping the
+// shuffle representation simple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flexmr::rt {
+
+using Value = std::int64_t;
+
+/// Collects a mapper's intermediate key/value pairs, combining on the fly
+/// (hash-combiner, as Hadoop's combiner would for associative reduces).
+class Emitter {
+ public:
+  void emit(std::string_view key, Value value) {
+    counts_[std::string(key)] += value;
+  }
+
+  std::unordered_map<std::string, Value> take() { return std::move(counts_); }
+
+ private:
+  std::unordered_map<std::string, Value> counts_;
+};
+
+/// A map function: consume one record (here: one whitespace-separated
+/// token stream chunk) and emit pairs.
+using MapFn = std::function<void(std::string_view chunk, Emitter& out)>;
+
+/// A reduce function: fold the combined values for one key.
+using ReduceFn = std::function<Value(std::string_view key,
+                                     const std::vector<Value>& values)>;
+
+/// Splits a chunk into whitespace-separated tokens and calls fn on each.
+template <typename Fn>
+void for_each_token(std::string_view chunk, Fn&& fn) {
+  std::size_t begin = 0;
+  while (begin < chunk.size()) {
+    while (begin < chunk.size() && chunk[begin] == ' ') ++begin;
+    std::size_t end = begin;
+    while (end < chunk.size() && chunk[end] != ' ') ++end;
+    if (end > begin) fn(chunk.substr(begin, end - begin));
+    begin = end;
+  }
+}
+
+// ---- Built-in UDFs -------------------------------------------------------
+
+/// wordcount: token → 1, summed.
+inline MapFn wordcount_map() {
+  return [](std::string_view chunk, Emitter& out) {
+    for_each_token(chunk, [&out](std::string_view token) {
+      out.emit(token, 1);
+    });
+  };
+}
+
+/// grep: count occurrences of tokens containing `pattern`.
+inline MapFn grep_map(std::string pattern) {
+  return [pattern = std::move(pattern)](std::string_view chunk,
+                                        Emitter& out) {
+    for_each_token(chunk, [&](std::string_view token) {
+      if (token.find(pattern) != std::string_view::npos) {
+        out.emit(token, 1);
+      }
+    });
+  };
+}
+
+/// histogram: bucket tokens by length ("len<k>").
+inline MapFn histogram_map() {
+  return [](std::string_view chunk, Emitter& out) {
+    for_each_token(chunk, [&out](std::string_view token) {
+      out.emit("len" + std::to_string(token.size()), 1);
+    });
+  };
+}
+
+/// The summing reducer shared by all counting UDFs.
+inline ReduceFn sum_reduce() {
+  return [](std::string_view, const std::vector<Value>& values) {
+    Value total = 0;
+    for (const Value v : values) total += v;
+    return total;
+  };
+}
+
+}  // namespace flexmr::rt

@@ -1,0 +1,114 @@
+#include "sched/skewtune.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr::sched {
+
+void SkewTuneScheduler::on_job_start(mr::DriverContext& ctx) {
+  StockHadoopScheduler::on_job_start(ctx);
+  chunks_.clear();
+  mitigation_tasks_.clear();
+  pending_is_mitigation_ = false;
+}
+
+void SkewTuneScheduler::on_map_dispatch(mr::DriverContext& ctx, TaskId task,
+                                        NodeId node) {
+  (void)ctx;
+  (void)node;
+  if (pending_is_mitigation_) {
+    mitigation_tasks_.insert(task);
+    pending_is_mitigation_ = false;
+  }
+}
+
+void SkewTuneScheduler::on_node_failed(
+    mr::DriverContext& ctx, NodeId node,
+    const std::vector<BlockUnitId>& reclaimed) {
+  StockHadoopScheduler::on_node_failed(ctx, node, reclaimed);
+  // BUs whose parent block still has launched siblings cannot be
+  // re-pended as a block; hand them to the mitigation queue instead.
+  std::vector<BlockUnitId> loose;
+  for (const BlockUnitId bu : reclaimed) {
+    if (block_launched(ctx.layout().bus[bu].block)) loose.push_back(bu);
+  }
+  if (!loose.empty()) chunks_.push_back(std::move(loose));
+}
+
+TaskId SkewTuneScheduler::find_straggler(mr::DriverContext& ctx) const {
+  const SimTime now = ctx.now();
+  TaskId best = kInvalidTask;
+  double best_time_left = 0;
+  for (const auto& info : ctx.running_maps()) {
+    if (!info.computing) continue;
+    if (mitigation_tasks_.contains(info.id)) continue;
+    if (info.size_mib <= 2 * kBlockUnitMiB) continue;  // nothing to split
+    const SimDuration elapsed = now - info.dispatch_time;
+    if (elapsed < options_.min_runtime_s) continue;
+    const double rate = info.progress / elapsed;
+    if (rate <= 0) continue;
+    const double time_left = (1.0 - info.progress) / rate;
+    // Mitigation must buy more than it costs. With k helpers the tail
+    // shrinks to ~time_left/k but every helper pays the repartition
+    // overhead; SkewTune's planner approximates this with a fixed factor.
+    if (time_left <
+        options_.min_benefit_factor * options_.repartition_overhead_s) {
+      continue;
+    }
+    if (time_left > best_time_left) {
+      best_time_left = time_left;
+      best = info.id;
+    }
+  }
+  return best;
+}
+
+std::optional<mr::MapLaunch> SkewTuneScheduler::on_slot_free(
+    mr::DriverContext& ctx, NodeId node) {
+  // Normal Hadoop dispatch while input remains.
+  if (auto launch = launch_pending_block(ctx, node)) return launch;
+
+  // Serve an already-planned mitigation chunk.
+  if (!chunks_.empty()) {
+    mr::MapLaunch launch;
+    launch.bus = std::move(chunks_.front());
+    chunks_.pop_front();
+    ctx.index().take_units(launch.bus);
+    launch.extra_startup_s = options_.repartition_overhead_s;
+    pending_is_mitigation_ = true;
+    return launch;
+  }
+
+  // Idle slot, no pending work: look for a straggler worth splitting.
+  const TaskId straggler = find_straggler(ctx);
+  if (straggler == kInvalidTask) return std::nullopt;
+
+  std::vector<BlockUnitId> remaining = ctx.kill_and_reclaim(straggler);
+  if (remaining.empty()) return std::nullopt;
+
+  // Partition the remainder into equal chunks, one per currently-free slot
+  // plus this one (the homogeneity assumption: every helper gets the same
+  // share regardless of its actual speed).
+  const std::size_t helpers =
+      std::max<std::size_t>(1, ctx.total_free_slots() + 1);
+  const std::size_t chunk_size =
+      (remaining.size() + helpers - 1) / helpers;
+  for (std::size_t begin = 0; begin < remaining.size();
+       begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, remaining.size());
+    chunks_.emplace_back(
+        remaining.begin() + static_cast<std::ptrdiff_t>(begin),
+        remaining.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+
+  mr::MapLaunch launch;
+  launch.bus = std::move(chunks_.front());
+  chunks_.pop_front();
+  ctx.index().take_units(launch.bus);
+  launch.extra_startup_s = options_.repartition_overhead_s;
+  pending_is_mitigation_ = true;
+  return launch;
+}
+
+}  // namespace flexmr::sched

@@ -1,0 +1,71 @@
+// SkewTune (Kwon et al., SIGMOD'12) reimplemented on the simulator, as the
+// paper uses it: a skew-mitigation baseline that, when slots idle at the
+// tail of the map phase, stops the straggler with the greatest estimated
+// time-left and repartitions its *unprocessed* input evenly across the idle
+// slots ("SkewTune parallelizes a straggler task by repartitioning and
+// redistributing its input data across all available nodes. It assumes all
+// slave nodes have the same processing capability." — §IV-A).
+//
+// Modeled costs, matching the mechanism's real overheads:
+//   * repartitioning is planned by scanning the remaining input; every
+//     mitigation task pays `repartition_overhead_s` extra startup,
+//   * mitigation chunks are usually remote to their new host, so they pay
+//     the driver's normal remote-read penalty,
+//   * the straggler's processed prefix is kept (SkewTune's operator-level
+//     split), surfacing as a PartialCompleted task.
+//
+// The homogeneity assumption shows up as *equal* chunk sizes — exactly why
+// the paper finds SkewTune loses to FlexMap when slow nodes are plentiful.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "sched/stock.hpp"
+
+namespace flexmr::sched {
+
+struct SkewTuneOptions {
+  /// Extra startup charged to every mitigation task (scan + plan + move).
+  SimDuration repartition_overhead_s = 10.0;
+  /// Only mitigate stragglers whose estimated time-left exceeds this
+  /// multiple of the repartition overhead (SkewTune's "is it worth it").
+  double min_benefit_factor = 2.0;
+  /// Don't judge tasks younger than this.
+  SimDuration min_runtime_s = 5.0;
+};
+
+class SkewTuneScheduler final : public StockHadoopScheduler {
+ public:
+  explicit SkewTuneScheduler(SkewTuneOptions options = {})
+      : StockHadoopScheduler(StockOptions{.speculation = false, .late = {}}),
+        options_(options) {}
+
+  std::string name() const override { return "skewtune"; }
+
+  void on_job_start(mr::DriverContext& ctx) override;
+  std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
+                                            NodeId node) override;
+  void on_map_dispatch(mr::DriverContext& ctx, TaskId task,
+                       NodeId node) override;
+  /// Whole blocks re-pend via the base class; BUs from partially-covered
+  /// blocks (a mitigated straggler's prefix died) become one repair chunk.
+  void on_node_failed(mr::DriverContext& ctx, NodeId node,
+                      const std::vector<BlockUnitId>& reclaimed) override;
+
+ private:
+  /// Picks the straggler to mitigate; returns kInvalidTask if none is
+  /// worth it.
+  TaskId find_straggler(mr::DriverContext& ctx) const;
+
+  SkewTuneOptions options_;
+  std::deque<std::vector<BlockUnitId>> chunks_;  ///< Planned mitigation work.
+  /// Tasks created by mitigation — never re-mitigated (SkewTune splits a
+  /// straggler once; recursively splitting its own repair tasks would pay
+  /// the repartition overhead over and over).
+  std::set<TaskId> mitigation_tasks_;
+  bool pending_is_mitigation_ = false;
+};
+
+}  // namespace flexmr::sched

@@ -1,0 +1,175 @@
+#include "sched/stock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace flexmr::sched {
+
+void StockHadoopScheduler::on_job_start(mr::DriverContext& ctx) {
+  const auto& layout = ctx.layout();
+  block_launched_.assign(layout.blocks.size(), 0);
+  node_local_blocks_.assign(ctx.num_nodes(), {});
+  node_cursor_.assign(ctx.num_nodes(), 0);
+  pending_count_ = layout.blocks.size();
+  global_cursor_ = 0;
+  remote_wait_since_.assign(ctx.num_nodes(), -1.0);
+  for (const auto& block : layout.blocks) {
+    for (const NodeId node : block.replicas) {
+      node_local_blocks_[node].push_back(block.id);
+    }
+  }
+}
+
+std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
+    mr::DriverContext& ctx, NodeId node) {
+  const auto& layout = ctx.layout();
+
+  auto make_launch = [&](std::uint32_t block_id) {
+    block_launched_[block_id] = 1;
+    --pending_count_;
+    ctx.index().take_block(layout.blocks[block_id]);
+    mr::MapLaunch launch;
+    launch.bus = layout.blocks[block_id].bus;
+    return launch;
+  };
+
+  // 1. Node-local block.
+  auto& locals = node_local_blocks_[node];
+  auto& cursor = node_cursor_[node];
+  while (cursor < locals.size()) {
+    const std::uint32_t block_id = locals[cursor];
+    if (!block_launched_[block_id]) {
+      remote_wait_since_[node] = -1.0;
+      return make_launch(block_id);
+    }
+    ++cursor;
+  }
+
+  // 2. Any pending block (remote execution on an idle node) — after the
+  //    delay-scheduling wait, if one is configured.
+  if (pending_count_ > 0 && options_.locality_wait_s > 0.0) {
+    if (remote_wait_since_[node] < 0.0) {
+      remote_wait_since_[node] = ctx.now();
+      return std::nullopt;  // start waiting for a local block to free up
+    }
+    if (ctx.now() - remote_wait_since_[node] < options_.locality_wait_s) {
+      return std::nullopt;
+    }
+  }
+  while (global_cursor_ < block_launched_.size()) {
+    if (!block_launched_[global_cursor_]) {
+      remote_wait_since_[node] = -1.0;
+      return make_launch(global_cursor_);
+    }
+    ++global_cursor_;
+  }
+  return std::nullopt;
+}
+
+std::optional<mr::MapLaunch> StockHadoopScheduler::late_speculate(
+    mr::DriverContext& ctx, NodeId node) {
+  const auto running = ctx.running_maps();
+
+  // SpeculativeCap: bound concurrent speculative copies.
+  const auto cap = static_cast<std::size_t>(std::ceil(
+      options_.late.speculative_cap * ctx.total_slots()));
+  std::size_t speculating = 0;
+  for (const auto& info : running) {
+    if (info.speculative) ++speculating;
+  }
+  if (speculating >= cap) return std::nullopt;
+
+  // SlowNodeThreshold: no backups on nodes that look slow themselves.
+  std::vector<double> node_speeds;
+  for (NodeId n = 0; n < ctx.num_nodes(); ++n) {
+    if (const auto ips = ctx.observed_ips(n)) node_speeds.push_back(*ips);
+  }
+  if (const auto own = ctx.observed_ips(node); own && !node_speeds.empty()) {
+    std::vector<double> sorted = node_speeds;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        options_.late.slow_node_percentile *
+        static_cast<double>(sorted.size() - 1));
+    if (*own < sorted[idx]) return std::nullopt;
+  }
+
+  // Candidates: running, old enough, unfinished enough, not yet backed up.
+  const SimTime now = ctx.now();
+  struct Candidate {
+    TaskId id;
+    double rate;
+    double time_left;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<double> rates;
+  for (const auto& info : running) {
+    if (!info.computing || info.speculative || info.has_twin) continue;
+    const SimDuration elapsed = now - info.dispatch_time;
+    if (elapsed < options_.late.min_runtime_s) continue;
+    if (info.progress >= options_.late.max_progress) continue;
+    if (info.node == node) continue;  // a copy next to the original is useless
+    const double rate = info.progress / elapsed;
+    if (rate <= 0) continue;
+    candidates.push_back({info.id, rate, (1.0 - info.progress) / rate});
+    rates.push_back(rate);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // SlowTaskThreshold: only tasks in the slow tail of progress rates.
+  std::sort(rates.begin(), rates.end());
+  const auto rate_idx = static_cast<std::size_t>(
+      options_.late.slow_task_percentile *
+      static_cast<double>(rates.size() - 1));
+  const double slow_rate = rates[rate_idx];
+
+  const Candidate* best = nullptr;
+  for (const auto& candidate : candidates) {
+    if (candidate.rate > slow_rate) continue;
+    if (!best || candidate.time_left > best->time_left) best = &candidate;
+  }
+  if (!best) return std::nullopt;
+
+  mr::MapLaunch launch;
+  launch.speculative_of = best->id;
+  return launch;
+}
+
+std::optional<mr::MapLaunch> StockHadoopScheduler::on_slot_free(
+    mr::DriverContext& ctx, NodeId node) {
+  if (auto launch = launch_pending_block(ctx, node)) return launch;
+  if (options_.speculation) return late_speculate(ctx, node);
+  return std::nullopt;
+}
+
+void StockHadoopScheduler::on_node_failed(
+    mr::DriverContext& ctx, NodeId node,
+    const std::vector<BlockUnitId>& reclaimed) {
+  (void)node;
+  const auto& layout = ctx.layout();
+  std::set<std::uint32_t> blocks;
+  for (const BlockUnitId bu : reclaimed) {
+    blocks.insert(layout.bus[bu].block);
+  }
+  for (const std::uint32_t block_id : blocks) {
+    if (!block_launched_[block_id]) continue;
+    bool fully_free = true;
+    for (const BlockUnitId bu : layout.blocks[block_id].bus) {
+      if (ctx.index().taken(bu)) {
+        fully_free = false;
+        break;
+      }
+    }
+    if (fully_free) {
+      block_launched_[block_id] = 0;
+      ++pending_count_;
+    }
+  }
+  // Rewind the scan cursors: re-pended blocks may sit behind them.
+  for (auto& cursor : node_cursor_) cursor = 0;
+  global_cursor_ = 0;
+}
+
+}  // namespace flexmr::sched

@@ -1,0 +1,95 @@
+// Stock Hadoop map scheduling: one map per HDFS block, static input
+// binding, locality-first dispatch, and (optionally) LATE speculative
+// execution — the scheduler YARN ships and the paper's primary baseline.
+//
+// Dispatch order on a free slot (Hadoop's node-local → off-switch order,
+// collapsed to two levels on a flat topology):
+//   1. the lowest-id pending block with a replica on the node,
+//   2. the lowest-id pending block anywhere (remote execution),
+//   3. if speculation is enabled and no blocks are pending: a LATE
+//      speculative copy of the slowest-looking running task.
+//
+// LATE (Zaharia et al., OSDI'08), as summarized in the paper §II-B:
+//   * estimate time-left = (1 - progress) / progress_rate,
+//   * only speculate tasks whose progress rate is below SlowTaskThreshold
+//     (a percentile of running tasks' rates),
+//   * never launch speculative copies on slow nodes (observed IPS below
+//     SlowNodeThreshold percentile),
+//   * cap concurrently running speculative copies at SpeculativeCap
+//     (a fraction of cluster slots),
+//   * copy the candidate with the largest time-left.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/scheduler.hpp"
+
+namespace flexmr::sched {
+
+struct LateParams {
+  double speculative_cap = 0.1;      ///< Fraction of total slots.
+  double slow_task_percentile = 0.25;
+  double slow_node_percentile = 0.25;
+  /// Don't judge brand-new tasks. Real YARN speculators need statistics
+  /// to warm up and rarely fire in a task's first tens of seconds; the
+  /// paper leans on exactly this sluggishness ("may also miss the best
+  /// timing for load balancing", §IV-E).
+  SimDuration min_runtime_s = 15.0;
+  double max_progress = 0.9;         ///< Too late to bother past this.
+};
+
+struct StockOptions {
+  bool speculation = true;
+  /// Delay scheduling (Zaharia et al., EuroSys'10 — shipped in Hadoop's
+  /// fair scheduler): a slot with no node-local pending block waits this
+  /// long before accepting a remote block. 0 disables the wait.
+  SimDuration locality_wait_s = 0.0;
+  LateParams late;
+};
+
+class StockHadoopScheduler : public mr::Scheduler {
+ public:
+  explicit StockHadoopScheduler(StockOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.speculation ? "hadoop" : "hadoop-nospec";
+  }
+
+  void on_job_start(mr::DriverContext& ctx) override;
+  std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
+                                            NodeId node) override;
+  /// Re-pends every block whose BUs all returned to the pool after a node
+  /// failure (one map per block: a block re-runs whole or not at all).
+  void on_node_failed(mr::DriverContext& ctx, NodeId node,
+                      const std::vector<BlockUnitId>& reclaimed) override;
+
+ protected:
+  /// Whether block `block_id` currently has a launched map bound to it.
+  bool block_launched(std::uint32_t block_id) const {
+    return block_launched_[block_id] != 0;
+  }
+  /// Attempts rules 1–2 (pending blocks). Shared with SkewTune.
+  std::optional<mr::MapLaunch> launch_pending_block(mr::DriverContext& ctx,
+                                                    NodeId node);
+
+  /// Rule 3: LATE. Returns a speculative launch or nullopt.
+  std::optional<mr::MapLaunch> late_speculate(mr::DriverContext& ctx,
+                                              NodeId node);
+
+  std::size_t pending_blocks() const { return pending_count_; }
+
+ private:
+  StockOptions options_;
+  std::vector<char> block_launched_;
+  std::vector<std::vector<std::uint32_t>> node_local_blocks_;
+  std::vector<std::size_t> node_cursor_;
+  std::size_t pending_count_ = 0;
+  std::uint32_t global_cursor_ = 0;
+  /// Delay scheduling: when each node started waiting for a local block
+  /// (negative = not waiting).
+  std::vector<SimTime> remote_wait_since_;
+};
+
+}  // namespace flexmr::sched

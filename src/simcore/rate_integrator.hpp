@@ -1,0 +1,84 @@
+// Lazy progress tracking for work executing at a piecewise-constant rate.
+//
+// A running map task progresses at node_speed(t), which changes whenever
+// interference on its host changes. Instead of ticking, we record
+// (work_done, rate, last_update) and integrate on demand:
+//   - advance(now) folds elapsed time into work_done,
+//   - set_rate(now, r) advances then switches the rate,
+//   - eta(now) yields the projected completion time under the current rate,
+// so the owner can (re)schedule a cancellable completion event.
+#pragma once
+
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr {
+
+class RateIntegrator {
+ public:
+  /// `total` is the amount of work (arbitrary unit, e.g. MiB of input);
+  /// `rate` is the initial processing rate (unit/s, >= 0).
+  RateIntegrator(double total, double rate, SimTime start)
+      : total_(total), rate_(rate), last_update_(start) {
+    FLEXMR_ASSERT(total > 0.0);
+    FLEXMR_ASSERT(rate >= 0.0);
+  }
+
+  double total() const { return total_; }
+  double rate() const { return rate_; }
+
+  /// Folds elapsed time since the last update into completed work.
+  void advance(SimTime now) {
+    FLEXMR_ASSERT(now >= last_update_);
+    done_ += rate_ * (now - last_update_);
+    if (done_ > total_) done_ = total_;
+    last_update_ = now;
+  }
+
+  /// Advances to `now`, then switches to the new rate.
+  void set_rate(SimTime now, double rate) {
+    FLEXMR_ASSERT(rate >= 0.0);
+    advance(now);
+    rate_ = rate;
+  }
+
+  /// Grows the work target (multi-block execution appends block units to a
+  /// running task's input split).
+  void grow_total(SimTime now, double extra) {
+    FLEXMR_ASSERT(extra >= 0.0);
+    advance(now);
+    total_ += extra;
+  }
+
+  double done(SimTime now) const {
+    FLEXMR_ASSERT(now >= last_update_);
+    const double d = done_ + rate_ * (now - last_update_);
+    return d > total_ ? total_ : d;
+  }
+
+  double remaining(SimTime now) const { return total_ - done(now); }
+
+  /// Fraction complete in [0, 1].
+  double progress(SimTime now) const { return done(now) / total_; }
+
+  bool finished(SimTime now) const { return done(now) >= total_; }
+
+  /// Projected completion time under the current rate; nullopt if stalled
+  /// (rate == 0) and unfinished.
+  std::optional<SimTime> eta(SimTime now) const {
+    const double rem = remaining(now);
+    if (rem <= 0.0) return now;
+    if (rate_ <= 0.0) return std::nullopt;
+    return now + rem / rate_;
+  }
+
+ private:
+  double total_;
+  double done_ = 0.0;
+  double rate_;
+  SimTime last_update_;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,60 @@
+#include "simcore/simulator.hpp"
+
+#include <utility>
+
+namespace flexmr {
+
+EventId Simulator::schedule_at(SimTime t, Handler handler) {
+  FLEXMR_ASSERT_MSG(t >= now_, "cannot schedule event in the past");
+  FLEXMR_ASSERT(handler != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the id; both start at 1
+  queue_.push(QueueEntry{t, seq, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  return handlers_.erase(id) > 0;  // queue entry is skipped lazily
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    FLEXMR_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    handler();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (step()) {
+    if (++fired > max_events) {
+      throw InvariantError("simulation exceeded max_events — likely a loop");
+    }
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  FLEXMR_ASSERT(t >= now_);
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    if (!handlers_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace flexmr

@@ -1,0 +1,81 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a virtual clock and a priority queue of scheduled
+// events. Event ordering is total and deterministic: ties on time break by
+// schedule order (a monotone sequence number), so a run is bit-reproducible
+// given the same inputs. Events are cancellable: cancel() detaches the
+// handler and the queue entry is skipped lazily when popped — this is the
+// mechanism task-completion re-estimation is built on (see RateIntegrator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `handler` to fire at absolute time `t` (>= now).
+  EventId schedule_at(SimTime t, Handler handler);
+
+  /// Schedules `handler` to fire `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimDuration delay, Handler handler) {
+    return schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled (safe to call redundantly).
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const { return handlers_.contains(id); }
+
+  /// Number of live (non-cancelled) scheduled events.
+  std::size_t live_events() const { return handlers_.size(); }
+
+  /// Fires the next event; returns false when the queue is exhausted.
+  bool step();
+
+  /// Runs until no events remain. `max_events` guards against runaway
+  /// simulations; exceeding it throws InvariantError.
+  void run(std::uint64_t max_events = 500'000'000ULL);
+
+  /// Runs events with time <= t, then sets the clock to exactly t.
+  void run_until(SimTime t);
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<EventId, Handler> handlers_;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,93 @@
+#include "workloads/puma.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace flexmr::workloads {
+
+const std::vector<Benchmark>& puma_suite() {
+  static const std::vector<Benchmark> suite = {
+      // Map-heavy text jobs over Wikipedia (heavy-tailed record costs).
+      {.code = "WC", .name = "wordcount", .input_data = "Wikipedia",
+       .small_input = gib_to_mib(20), .large_input = gib_to_mib(256),
+       .map_cost = 1.0, .shuffle_ratio = 0.25, .reduce_cost = 0.3,
+       .record_skew = 0.25, .reduce_key_skew = 0.0},
+      // Inverted index: posting lists ≈ input size → reduce-dominated, the
+      // case where the paper reports FlexMap can lose to stock Hadoop.
+      {.code = "II", .name = "inverted-index", .input_data = "Wikipedia",
+       .small_input = gib_to_mib(20), .large_input = gib_to_mib(256),
+       .map_cost = 1.1, .shuffle_ratio = 0.9, .reduce_cost = 1.0,
+       .record_skew = 0.25, .reduce_key_skew = 0.5},
+      {.code = "TV", .name = "term-vector", .input_data = "Wikipedia",
+       .small_input = gib_to_mib(10), .large_input = gib_to_mib(256),
+       .map_cost = 1.3, .shuffle_ratio = 0.5, .reduce_cost = 0.8,
+       .record_skew = 0.25, .reduce_key_skew = 0.3},
+      {.code = "GR", .name = "grep", .input_data = "Wikipedia",
+       .small_input = gib_to_mib(20), .large_input = gib_to_mib(256),
+       .map_cost = 0.6, .shuffle_ratio = 0.01, .reduce_cost = 0.1,
+       .record_skew = 0.25, .reduce_key_skew = 0.0},
+      // K-means (k = 6): distance computation dominates the map side.
+      {.code = "KM", .name = "kmeans", .input_data = "Netflix, k=6",
+       .small_input = gib_to_mib(10), .large_input = gib_to_mib(256),
+       .map_cost = 2.2, .shuffle_ratio = 0.05, .reduce_cost = 0.3,
+       .record_skew = 0.1, .reduce_key_skew = 0.0},
+      {.code = "HR", .name = "histogram-ratings", .input_data = "Netflix",
+       .small_input = gib_to_mib(10), .large_input = gib_to_mib(128),
+       .map_cost = 0.75, .shuffle_ratio = 0.01, .reduce_cost = 0.1,
+       .record_skew = 0.1, .reduce_key_skew = 0.0},
+      {.code = "HM", .name = "histogram-movies", .input_data = "Netflix",
+       .small_input = gib_to_mib(10), .large_input = gib_to_mib(128),
+       .map_cost = 0.8, .shuffle_ratio = 0.01, .reduce_cost = 0.1,
+       .record_skew = 0.1, .reduce_key_skew = 0.0},
+      // TeraSort: trivial map, full shuffle, sort-heavy reduce.
+      {.code = "TS", .name = "tera-sort", .input_data = "TeraGen",
+       .small_input = gib_to_mib(10), .large_input = gib_to_mib(128),
+       .map_cost = 0.35, .shuffle_ratio = 1.0, .reduce_cost = 1.2,
+       .record_skew = 0.02, .reduce_key_skew = 0.0},
+  };
+  return suite;
+}
+
+const Benchmark& benchmark(std::string_view code) {
+  for (const auto& bench : puma_suite()) {
+    if (bench.code == code) return bench;
+  }
+  throw ConfigError("unknown PUMA benchmark code: " + std::string(code));
+}
+
+mr::JobSpec to_job_spec(const Benchmark& bench, InputScale scale,
+                        std::uint32_t num_reducers) {
+  mr::JobSpec spec;
+  spec.name = bench.name;
+  spec.input_size = bench.input(scale);
+  spec.map_cost = bench.map_cost;
+  spec.shuffle_ratio = bench.shuffle_ratio;
+  spec.reduce_cost = bench.reduce_cost;
+  spec.num_reducers = num_reducers;
+  spec.reduce_key_skew = bench.reduce_key_skew;
+  return spec;
+}
+
+hdfs::FileLayout make_layout(const Benchmark& bench, InputScale scale,
+                             std::uint32_t num_nodes, MiB block_size,
+                             std::uint32_t replication, std::uint64_t seed) {
+  Rng rng(seed);
+  hdfs::NameNode namenode(num_nodes, hdfs::PlacementPolicy::kRandom,
+                          rng.split());
+  auto layout = namenode.create_file(bench.input(scale), block_size,
+                                     replication);
+  if (bench.record_skew > 0.0) {
+    // Lognormal(μ = -σ²/2, σ) has mean 1: skew redistributes cost between
+    // BUs without changing the job's total work in expectation.
+    const double sigma = bench.record_skew;
+    const double mu = -sigma * sigma / 2.0;
+    for (auto& bu : layout.bus) {
+      bu.cost = std::exp(mu + sigma * rng.normal());
+    }
+  }
+  return layout;
+}
+
+}  // namespace flexmr::workloads

@@ -1,0 +1,70 @@
+// PUMA benchmark models (Table II of the paper).
+//
+// The paper runs eight PUMA benchmarks over Wikipedia, Netflix and TeraGen
+// inputs. We cannot ship those datasets; what the simulator needs from them
+// is each benchmark's *cost profile*:
+//   map_cost       — CPU per MiB of input relative to wordcount,
+//   shuffle_ratio  — intermediate bytes per input byte (map-heavy jobs have
+//                    tiny ratios; §IV-G: 30% of production jobs shuffle
+//                    nothing and another 70% shuffle ~10% of input),
+//   reduce_cost    — CPU per MiB of reduce input,
+//   record_skew    — lognormal sigma of per-BU record cost (Wikipedia text
+//                    is heavy-tailed; TeraGen rows are uniform),
+//   reduce_key_skew— Zipf exponent of reducer partition sizes.
+// Profiles are set from the benchmarks' published behavior: WC/GR/HM/HR are
+// map-heavy, II/TS reduce-heavy, KM compute-intensive (§IV-B discusses
+// which benchmarks are map- vs reduce-dominated).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hdfs/namenode.hpp"
+#include "mr/job.hpp"
+
+namespace flexmr::workloads {
+
+enum class InputScale {
+  kSmall,  ///< Table II "small": the 12-node and 20-node clusters.
+  kLarge,  ///< Table II "large": the 40-node cluster.
+};
+
+struct Benchmark {
+  std::string code;        ///< Short tag used in the paper's figures.
+  std::string name;
+  std::string input_data;  ///< What the paper fed it (Table II).
+  MiB small_input = 0;
+  MiB large_input = 0;
+  double map_cost = 1.0;
+  double shuffle_ratio = 0.0;
+  double reduce_cost = 0.0;
+  double record_skew = 0.0;
+  double reduce_key_skew = 0.0;
+
+  MiB input(InputScale scale) const {
+    return scale == InputScale::kSmall ? small_input : large_input;
+  }
+};
+
+/// All eight PUMA benchmarks, in the paper's figure order:
+/// WC, II, TV, GR, KM, HR, HM, TS.
+const std::vector<Benchmark>& puma_suite();
+
+/// Lookup by code ("WC", "II", ...). Throws ConfigError on unknown codes.
+const Benchmark& benchmark(std::string_view code);
+
+/// Builds the JobSpec for one benchmark at one input scale.
+mr::JobSpec to_job_spec(const Benchmark& bench, InputScale scale,
+                        std::uint32_t num_reducers = 0);
+
+/// Creates the benchmark's input file layout on `num_nodes` nodes, with
+/// per-BU record costs drawn from the benchmark's skew model (lognormal
+/// with unit mean). Identical seed → identical layout and skew, so every
+/// scheduler in a comparison sees the same data.
+hdfs::FileLayout make_layout(const Benchmark& bench, InputScale scale,
+                             std::uint32_t num_nodes, MiB block_size,
+                             std::uint32_t replication, std::uint64_t seed);
+
+}  // namespace flexmr::workloads

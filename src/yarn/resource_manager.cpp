@@ -1,0 +1,64 @@
+#include "yarn/resource_manager.hpp"
+
+namespace flexmr::yarn {
+
+ResourceManager::ResourceManager(const cluster::Cluster& cluster)
+    : dead_(cluster.num_nodes(), 0) {
+  free_.reserve(cluster.num_nodes());
+  capacity_.reserve(cluster.num_nodes());
+  for (NodeId node = 0; node < cluster.num_nodes(); ++node) {
+    free_.push_back(cluster.machine(node).slots());
+    capacity_.push_back(cluster.machine(node).slots());
+    total_slots_ += cluster.machine(node).slots();
+  }
+}
+
+std::uint32_t ResourceManager::total_free() const {
+  std::uint32_t total = 0;
+  for (const auto count : free_) total += count;
+  return total;
+}
+
+void ResourceManager::acquire(NodeId node) {
+  FLEXMR_ASSERT(node < free_.size());
+  FLEXMR_ASSERT_MSG(free_[node] > 0, "acquire on a node with no free slots");
+  --free_[node];
+}
+
+void ResourceManager::release(NodeId node) {
+  FLEXMR_ASSERT(node < free_.size());
+  if (dead_[node]) return;  // slots of a failed node are gone
+  ++free_[node];
+  offer_node(node);
+}
+
+void ResourceManager::mark_dead(NodeId node) {
+  FLEXMR_ASSERT(node < free_.size());
+  if (dead_[node]) return;
+  dead_[node] = 1;
+  free_[node] = 0;
+  total_slots_ -= capacity_[node];
+}
+
+void ResourceManager::offer_node(NodeId node) {
+  if (!handler_ || offering_ || dead_[node]) return;
+  offering_ = true;
+  while (free_[node] > 0 && handler_(node)) {
+    --free_[node];
+  }
+  offering_ = false;
+}
+
+void ResourceManager::offer_all() {
+  if (!handler_ || offering_) return;
+  offering_ = true;
+  for (NodeId node = 0; node < free_.size(); ++node) {
+    if (dead_[node]) continue;
+    while (free_[node] > 0 && handler_(node)) {
+      --free_[node];
+    }
+  }
+  offering_ = false;
+}
+
+}  // namespace flexmr::yarn

@@ -1,0 +1,69 @@
+// ResourceManager: YARN slot accounting and the container-offer protocol.
+//
+// The RM tracks free container slots per node and *offers* them to the
+// AppMaster (our JobDriver) through a callback. An offer handler returns
+// true to consume the slot (a task was dispatched there) or false to
+// decline; declined slots stay free and are re-offered whenever cluster
+// state changes (a release, an explicit offer_all after a heartbeat or a
+// phase transition). This models YARN's heartbeat-driven allocation loop
+// without simulating the RPC machinery, and it is exactly the hook FlexMap
+// needs: the paper's RMContainerAllocator modification signals JobImpl when
+// containers become available so the mapper size can be decided *then*.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::yarn {
+
+class ResourceManager {
+ public:
+  /// Handler returns true if it used the offered slot on `node`.
+  using OfferHandler = std::function<bool(NodeId)>;
+
+  explicit ResourceManager(const cluster::Cluster& cluster);
+
+  void set_offer_handler(OfferHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  std::uint32_t free_slots(NodeId node) const { return free_[node]; }
+  std::uint32_t total_free() const;
+  /// Slots of *alive* nodes (mark_dead subtracts the failed node's).
+  std::uint32_t total_slots() const { return total_slots_; }
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+  /// Consumes one free slot on `node` (the handler calls this implicitly by
+  /// returning true; direct use is for dispatches outside the offer path).
+  void acquire(NodeId node);
+
+  /// Returns a slot on `node` and immediately re-offers it.
+  void release(NodeId node);
+
+  /// Offers every free slot, node by node, until the handler declines.
+  void offer_all();
+
+  /// Offers the free slots of a single node until declined.
+  void offer_node(NodeId node);
+
+  /// Marks a node as failed: its slots are withdrawn, future releases for
+  /// it are ignored, and it is never offered again.
+  void mark_dead(NodeId node);
+  bool is_dead(NodeId node) const { return dead_[node] != 0; }
+
+ private:
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> capacity_;  ///< Original slots per node.
+  std::vector<char> dead_;
+  std::uint32_t total_slots_ = 0;
+  OfferHandler handler_;
+  bool offering_ = false;  ///< Guards against re-entrant offer cascades.
+};
+
+}  // namespace flexmr::yarn

@@ -1,0 +1,118 @@
+// Analysis toolkit and the oracle scheduler.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+#include "flexmap/oracle.hpp"
+#include "mr/analysis.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr {
+namespace {
+
+using workloads::InputScale;
+using workloads::RunConfig;
+using workloads::SchedulerKind;
+
+workloads::Benchmark wc(MiB input, double shuffle = 0.25) {
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = input;
+  bench.shuffle_ratio = shuffle;
+  return bench;
+}
+
+TEST(Analysis, NodeUtilizationAccountsAllWork) {
+  auto cluster = cluster::presets::heterogeneous6();
+  const auto result = workloads::run_job(cluster, wc(1024.0),
+                                         InputScale::kSmall,
+                                         SchedulerKind::kHadoop,
+                                         RunConfig{});
+  const auto stats = mr::node_utilization(result, cluster);
+  ASSERT_EQ(stats.size(), cluster.num_nodes());
+  MiB total_input = 0;
+  double total_busy = 0;
+  for (const auto& node : stats) {
+    total_input += node.map_input;
+    total_busy += node.map_busy + node.reduce_busy + node.wasted;
+    EXPECT_LE(node.utilization(result.jct()), 1.0 + 1e-9);
+  }
+  EXPECT_NEAR(total_input, 1024.0, 1e-6);
+  EXPECT_GT(total_busy, 0.0);
+}
+
+TEST(Analysis, TailAnalysisIdentifiesLastTask) {
+  auto cluster = cluster::presets::heterogeneous6();
+  const auto result = workloads::run_job(cluster, wc(1024.0),
+                                         InputScale::kSmall,
+                                         SchedulerKind::kHadoopNoSpec,
+                                         RunConfig{});
+  const auto tail = mr::analyze_tail(result);
+  EXPECT_GT(tail.p50_at, 0.0);
+  EXPECT_LE(tail.p50_at, tail.p90_at);
+  EXPECT_LE(tail.p90_at, 1.0 + 1e-9);
+  EXPECT_GT(tail.tail_share, 0.0);
+  EXPECT_GT(tail.tail_input, 0.0);
+}
+
+TEST(Analysis, WaveStatsMatchArithmetic) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = workloads::run_job(cluster, wc(2048.0, 0.0),
+                                         InputScale::kSmall,
+                                         SchedulerKind::kHadoopNoSpec,
+                                         RunConfig{});
+  const auto waves = mr::analyze_waves(result);
+  // 32 tasks / 24 slots.
+  EXPECT_NEAR(waves.mean_waves, 32.0 / 24.0, 1e-9);
+  EXPECT_GT(waves.mean_map_concurrency, 0.3);
+  EXPECT_LE(waves.mean_map_concurrency, 1.0 + 1e-9);
+}
+
+TEST(Oracle, CompletesWithInvariants) {
+  auto cluster = cluster::presets::heterogeneous6();
+  flexmap::OracleScheduler oracle(cluster);
+  const auto result = workloads::run_job(cluster, wc(1024.0),
+                                         InputScale::kSmall, oracle,
+                                         RunConfig{});
+  std::size_t credited = 0;
+  for (const auto& task : result.tasks) {
+    if (task.kind == mr::TaskKind::kMap && task.credited()) {
+      credited += task.num_bus;
+    }
+  }
+  EXPECT_EQ(credited, 128u);
+}
+
+TEST(Oracle, AtLeastAsGoodAsEstimatingFlexMapOnAverage) {
+  OnlineStats oracle_jct;
+  OnlineStats flexmap_jct;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    RunConfig config;
+    config.params.seed = seed;
+    auto c1 = cluster::presets::heterogeneous6();
+    flexmap::OracleScheduler oracle(c1);
+    oracle_jct.add(workloads::run_job(c1, wc(4096.0), InputScale::kSmall,
+                                      oracle, config)
+                       .jct());
+    auto c2 = cluster::presets::heterogeneous6();
+    flexmap_jct.add(workloads::run_job(c2, wc(4096.0), InputScale::kSmall,
+                                       SchedulerKind::kFlexMap, config)
+                        .jct());
+  }
+  EXPECT_LT(oracle_jct.mean(), flexmap_jct.mean() * 1.05);
+}
+
+TEST(Oracle, KnowsSpeedsImmediately) {
+  auto cluster = cluster::presets::heterogeneous6();
+  flexmap::OracleScheduler oracle(cluster);
+  workloads::run_job(cluster, wc(512.0), InputScale::kSmall, oracle,
+                     RunConfig{});
+  // After the run the inner monitor holds ground truth for every node.
+  const auto& monitor = oracle.inner().speed_monitor();
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    ASSERT_TRUE(monitor.get_speed(n).has_value());
+    EXPECT_DOUBLE_EQ(*monitor.get_speed(n),
+                     cluster.machine(n).effective_ips());
+  }
+}
+
+}  // namespace
+}  // namespace flexmr

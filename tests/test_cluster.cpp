@@ -1,0 +1,222 @@
+// Machines, interference models, cluster builder, presets.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+#include "simcore/simulator.hpp"
+
+namespace flexmr::cluster {
+namespace {
+
+TEST(Machine, EffectiveIpsFollowsMultiplier) {
+  Machine machine(0, MachineSpec{.model = "m", .base_ips = 10.0,
+                                 .slots = 4, .nic_bandwidth = 1192.0,
+                                 .memory_gb = 8.0});
+  EXPECT_DOUBLE_EQ(machine.effective_ips(), 10.0);
+  machine.set_multiplier(0.5);
+  EXPECT_DOUBLE_EQ(machine.effective_ips(), 5.0);
+}
+
+TEST(Machine, SpeedListenerFiresOnChangeOnly) {
+  Machine machine(3, MachineSpec{});
+  int calls = 0;
+  MiBps last = 0;
+  machine.add_speed_listener([&](NodeId node, MiBps ips) {
+    EXPECT_EQ(node, 3u);
+    ++calls;
+    last = ips;
+  });
+  machine.set_multiplier(0.5);
+  machine.set_multiplier(0.5);  // no change, no callback
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(last, machine.spec().base_ips * 0.5);
+}
+
+TEST(Machine, InvalidMultiplierThrows) {
+  Machine machine(0, MachineSpec{});
+  EXPECT_THROW(machine.set_multiplier(0.0), InvariantError);
+  EXPECT_THROW(machine.set_multiplier(1.5), InvariantError);
+}
+
+TEST(ClusterBuilder, BuildsRequestedGroups) {
+  auto cluster = ClusterBuilder()
+                     .add(MachineSpec{.model = "a", .base_ips = 5.0,
+                                      .slots = 2, .nic_bandwidth = 1192.0,
+                                      .memory_gb = 4.0},
+                          3)
+                     .add(MachineSpec{.model = "b", .base_ips = 10.0,
+                                      .slots = 4, .nic_bandwidth = 1192.0,
+                                      .memory_gb = 8.0},
+                          2)
+                     .build();
+  EXPECT_EQ(cluster.num_nodes(), 5u);
+  EXPECT_EQ(cluster.total_slots(), 3u * 2 + 2u * 4);
+  EXPECT_EQ(cluster.machine(0).spec().model, "a");
+  EXPECT_EQ(cluster.machine(4).spec().model, "b");
+  EXPECT_DOUBLE_EQ(cluster.fastest_ips(), 10.0);
+  EXPECT_DOUBLE_EQ(cluster.slowest_ips(), 5.0);
+}
+
+TEST(Interference, StaticSlowdownAppliesAtStart) {
+  auto cluster = ClusterBuilder()
+                     .add(MachineSpec{}, 1, static_slowdown(0.25))
+                     .build();
+  Simulator sim;
+  Rng rng(1);
+  cluster.start(sim, rng);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 0.25);
+}
+
+TEST(Interference, OnOffAlternates) {
+  OnOffInterference::Params params;
+  params.mean_idle_s = 10.0;
+  params.mean_busy_s = 10.0;
+  params.busy_lo = 0.2;
+  params.busy_hi = 0.4;
+  auto cluster = ClusterBuilder()
+                     .add(MachineSpec{}, 1, on_off_interference(params))
+                     .build();
+  Simulator sim;
+  Rng rng(5);
+  cluster.start(sim, rng);
+  // Track distinct multiplier values over a long horizon.
+  int busy_periods = 0;
+  cluster.machine(0).add_speed_listener([&](NodeId, MiBps ips) {
+    if (ips < cluster.machine(0).spec().base_ips) ++busy_periods;
+  });
+  sim.run_until(500.0);
+  EXPECT_GT(busy_periods, 3);
+}
+
+TEST(Interference, OnOffBusyMultiplierWithinBounds) {
+  OnOffInterference::Params params;
+  params.mean_idle_s = 5.0;
+  params.mean_busy_s = 5.0;
+  params.busy_lo = 0.3;
+  params.busy_hi = 0.6;
+  params.start_busy = true;
+  auto cluster = ClusterBuilder()
+                     .add(MachineSpec{}, 1, on_off_interference(params))
+                     .build();
+  Simulator sim;
+  Rng rng(9);
+  cluster.start(sim, rng);
+  const double m = cluster.machine(0).multiplier();
+  EXPECT_GE(m, 0.3);
+  EXPECT_LE(m, 0.6);
+}
+
+TEST(Interference, RandomWalkStaysWithinBounds) {
+  RandomWalkInterference::Params params;
+  params.step_period_s = 1.0;
+  params.step_stddev = 0.3;
+  params.floor = 0.4;
+  auto cluster =
+      ClusterBuilder()
+          .add(MachineSpec{}, 1, random_walk_interference(params))
+          .build();
+  Simulator sim;
+  Rng rng(2);
+  cluster.start(sim, rng);
+  for (int i = 0; i < 100; ++i) {
+    sim.run_until(sim.now() + 1.0);
+    const double m = cluster.machine(0).multiplier();
+    EXPECT_GE(m, 0.4);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(Interference, TraceReplaysSchedule) {
+  auto cluster =
+      ClusterBuilder()
+          .add(MachineSpec{}, 1,
+               trace_interference({{0.0, 0.5}, {10.0, 0.25}, {20.0, 1.0}}))
+          .build();
+  Simulator sim;
+  Rng rng(1);
+  cluster.start(sim, rng);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 0.5);
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 0.25);
+  sim.run_until(25.0);
+  EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 1.0);
+}
+
+TEST(Interference, TraceValidatesInput) {
+  EXPECT_THROW(TraceInterference({{5.0, 0.5}, {1.0, 0.5}}), InvariantError);
+  EXPECT_THROW(TraceInterference({{0.0, 0.0}}), InvariantError);
+  EXPECT_THROW(TraceInterference({{0.0, 1.5}}), InvariantError);
+}
+
+TEST(Interference, TraceIsDeterministicAcrossRuns) {
+  auto make = []() {
+    return ClusterBuilder()
+        .add(MachineSpec{}, 2,
+             trace_interference({{0.0, 1.0}, {5.0, 0.3}, {15.0, 0.9}}))
+        .build();
+  };
+  for (int run = 0; run < 2; ++run) {
+    auto cluster = make();
+    Simulator sim;
+    Rng rng(static_cast<std::uint64_t>(run + 1));  // rng must not matter
+    cluster.start(sim, rng);
+    sim.run_until(6.0);
+    EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 0.3);
+    EXPECT_DOUBLE_EQ(cluster.machine(1).multiplier(), 0.3);
+  }
+}
+
+TEST(Cluster, ResetClearsListenersAndMultipliers) {
+  auto cluster = ClusterBuilder()
+                     .add(MachineSpec{}, 2, static_slowdown(0.5))
+                     .build();
+  Simulator sim;
+  Rng rng(1);
+  int calls = 0;
+  cluster.machine(0).add_speed_listener([&](NodeId, MiBps) { ++calls; });
+  cluster.start(sim, rng);
+  EXPECT_EQ(calls, 1);
+  cluster.reset();
+  EXPECT_DOUBLE_EQ(cluster.machine(0).multiplier(), 1.0);
+  Simulator sim2;
+  cluster.start(sim2, rng);  // old listener must be gone
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Presets, SizesMatchPaperSetups) {
+  EXPECT_EQ(presets::physical12().num_nodes(), 11u);   // 12 - master
+  EXPECT_EQ(presets::virtual20().num_nodes(), 19u);    // 20 - master
+  EXPECT_EQ(presets::multitenant40(0.2).num_nodes(), 39u);
+  EXPECT_EQ(presets::homogeneous6().num_nodes(), 6u);
+  EXPECT_EQ(presets::heterogeneous6().num_nodes(), 6u);
+  EXPECT_EQ(presets::tiny3().num_nodes(), 3u);
+}
+
+TEST(Presets, Physical12SpeedSpreadMatchesFig1a) {
+  auto cluster = presets::physical12();
+  const double spread = cluster.fastest_ips() / cluster.slowest_ips();
+  EXPECT_GE(spread, 2.0);  // slowest map >= 2x the fastest
+  EXPECT_LE(spread, 6.0);
+}
+
+TEST(Presets, Multitenant40SlowFraction) {
+  for (const double fraction : {0.05, 0.1, 0.2, 0.4}) {
+    auto cluster = presets::multitenant40(fraction);
+    Simulator sim;
+    Rng rng(1);
+    cluster.start(sim, rng);
+    std::uint32_t slow = 0;
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      if (cluster.machine(n).multiplier() < 1.0) ++slow;
+    }
+    EXPECT_EQ(slow, static_cast<std::uint32_t>(fraction * 39 + 0.5));
+  }
+}
+
+TEST(Presets, Tiny3CapacityRatioOneOneThree) {
+  auto cluster = presets::tiny3();
+  EXPECT_DOUBLE_EQ(cluster.machine(2).spec().base_ips,
+                   3.0 * cluster.machine(0).spec().base_ips);
+}
+
+}  // namespace
+}  // namespace flexmr::cluster

@@ -1,0 +1,64 @@
+// Small common utilities: units, error helpers, logging plumbing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(Units, GibMibRoundTrip) {
+  EXPECT_DOUBLE_EQ(gib_to_mib(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(mib_to_gib(2048.0), 2.0);
+  EXPECT_DOUBLE_EQ(mib_to_gib(gib_to_mib(7.5)), 7.5);
+}
+
+TEST(Units, BlockConstants) {
+  EXPECT_DOUBLE_EQ(kBlockUnitMiB, 8.0);
+  EXPECT_DOUBLE_EQ(kDefaultBlockMiB, 64.0);
+  EXPECT_DOUBLE_EQ(kLargeBlockMiB, 128.0);
+  EXPECT_EQ(kDefaultBlockMiB / kBlockUnitMiB, 8.0);  // 8 BUs per block
+}
+
+TEST(Error, AssertMacroThrowsWithLocation) {
+  try {
+    FLEXMR_ASSERT_MSG(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("test_common_misc"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertPassesSilently) {
+  FLEXMR_ASSERT(2 + 2 == 4);
+  FLEXMR_ASSERT_MSG(true, "never seen");
+}
+
+TEST(Logging, LevelsGateEmission) {
+  auto& logger = Logger::instance();
+  const LogLevel before = logger.level();
+  logger.set_level(LogLevel::Warn);
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+  EXPECT_FALSE(logger.enabled(LogLevel::Info));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+  EXPECT_TRUE(logger.enabled(LogLevel::Error));
+  logger.set_level(LogLevel::Off);
+  EXPECT_FALSE(logger.enabled(LogLevel::Error));
+  logger.set_level(before);
+}
+
+TEST(Logging, MacroCompilesAndRespectsLevel) {
+  auto& logger = Logger::instance();
+  const LogLevel before = logger.level();
+  logger.set_level(LogLevel::Off);
+  // Must not crash or emit; the stream body must still typecheck.
+  FLEXMR_LOG(Info, "test") << "value=" << 42 << " pi=" << 3.14;
+  logger.set_level(before);
+}
+
+}  // namespace
+}  // namespace flexmr

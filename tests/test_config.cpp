@@ -1,0 +1,91 @@
+// INI-style Config reader.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto config = Config::parse(
+      "top = 1\n"
+      "[cluster]\n"
+      "nodes = 12\n"
+      "ips = 7.5\n"
+      "# a comment\n"
+      "; another comment\n"
+      "[job]\n"
+      "name = wordcount\n");
+  EXPECT_EQ(config.get_int("top", 0), 1);
+  EXPECT_EQ(config.get_int("cluster.nodes", 0), 12);
+  EXPECT_DOUBLE_EQ(config.get_double("cluster.ips", 0), 7.5);
+  EXPECT_EQ(config.get_string("job.name", ""), "wordcount");
+  EXPECT_EQ(config.size(), 4u);
+}
+
+TEST(Config, TrimsWhitespace) {
+  const auto config = Config::parse("  key   =   value with spaces  \n");
+  EXPECT_EQ(config.get_string("key", ""), "value with spaces");
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const auto config = Config::parse("");
+  EXPECT_EQ(config.get_string("nope", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(config.get_double("nope", 2.5), 2.5);
+  EXPECT_EQ(config.get_int("nope", -3), -3);
+  EXPECT_TRUE(config.get_bool("nope", true));
+  EXPECT_FALSE(config.has("nope"));
+}
+
+TEST(Config, BooleanForms) {
+  const auto config = Config::parse(
+      "a = true\nb = 1\nc = yes\nd = false\ne = 0\nf = no\n");
+  for (const char* key : {"a", "b", "c"}) {
+    EXPECT_TRUE(config.get_bool(key, false)) << key;
+  }
+  for (const char* key : {"d", "e", "f"}) {
+    EXPECT_FALSE(config.get_bool(key, true)) << key;
+  }
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(Config::parse("[unclosed\n"), ConfigError);
+  EXPECT_THROW(Config::parse("no equals sign\n"), ConfigError);
+  EXPECT_THROW(Config::parse("= value\n"), ConfigError);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto config = Config::parse("x = hello\n");
+  EXPECT_THROW(config.get_double("x", 0.0), ConfigError);
+  EXPECT_THROW(config.get_int("x", 0), ConfigError);
+  EXPECT_THROW(config.get_bool("x", false), ConfigError);
+}
+
+TEST(Config, RequiredAccessors) {
+  const auto config = Config::parse("n = 5\n");
+  EXPECT_EQ(config.require_int("n"), 5);
+  EXPECT_THROW(config.require_int("missing"), ConfigError);
+  EXPECT_THROW(config.require_string("missing"), ConfigError);
+  EXPECT_THROW(config.require_double("missing"), ConfigError);
+}
+
+TEST(Config, SetOverrides) {
+  auto config = Config::parse("a = 1\n");
+  config.set("a", "2");
+  config.set("b", "3");
+  EXPECT_EQ(config.get_int("a", 0), 2);
+  EXPECT_EQ(config.get_int("b", 0), 3);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path/file.ini"), ConfigError);
+}
+
+TEST(Config, LastDuplicateWins) {
+  const auto config = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(config.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace flexmr

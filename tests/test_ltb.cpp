@@ -1,0 +1,92 @@
+// LateTaskBinder: locality-maximizing split construction (§III-C).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flexmap/ltb.hpp"
+#include "hdfs/namenode.hpp"
+
+namespace flexmr::flexmap {
+namespace {
+
+class LtbTest : public ::testing::Test {
+ protected:
+  LtbTest()
+      : layout_(hdfs::NameNode(5, hdfs::PlacementPolicy::kRandom, Rng(3))
+                    .create_file(64.0 * 10, 64.0, 3, 8.0)),
+        index_(layout_, 5),
+        binder_(index_) {}
+
+  bool is_local(BlockUnitId bu, NodeId node) const {
+    const auto& replicas = layout_.replicas_of(bu);
+    return std::find(replicas.begin(), replicas.end(), node) !=
+           replicas.end();
+  }
+
+  hdfs::FileLayout layout_;
+  hdfs::BlockLocationIndex index_;
+  LateTaskBinder binder_;
+};
+
+TEST_F(LtbTest, PrefersLocalBus) {
+  const auto split = binder_.bind(2, 4);
+  ASSERT_EQ(split.bus.size(), 4u);
+  EXPECT_EQ(split.local, 4u);
+  EXPECT_EQ(split.remote, 0u);
+  for (const BlockUnitId bu : split.bus) EXPECT_TRUE(is_local(bu, 2));
+}
+
+TEST_F(LtbTest, FallsBackToRemoteWhenLocalExhausted) {
+  // Drain node 0's local BUs completely.
+  while (index_.local_count(0) > 0) binder_.bind(0, 8);
+  ASSERT_GT(index_.unprocessed(), 0u);
+  const auto split = binder_.bind(0, 3);
+  ASSERT_EQ(split.bus.size(), 3u);
+  EXPECT_EQ(split.local, 0u);
+  EXPECT_EQ(split.remote, 3u);
+  for (const BlockUnitId bu : split.bus) EXPECT_FALSE(is_local(bu, 0));
+}
+
+TEST_F(LtbTest, MixedLocalRemoteSplit) {
+  // Leave exactly 2 local BUs on node 1, then request 5.
+  while (index_.local_count(1) > 2) binder_.bind(1, 1);
+  const auto split = binder_.bind(1, 5);
+  ASSERT_EQ(split.bus.size(), 5u);
+  EXPECT_EQ(split.local, 2u);
+  EXPECT_EQ(split.remote, 3u);
+}
+
+TEST_F(LtbTest, ExactlyOnceAcrossBinds) {
+  std::set<BlockUnitId> seen;
+  NodeId node = 0;
+  while (index_.unprocessed() > 0) {
+    const auto split = binder_.bind(node, 7);
+    ASSERT_FALSE(split.bus.empty());
+    for (const BlockUnitId bu : split.bus) {
+      EXPECT_TRUE(seen.insert(bu).second);
+    }
+    node = (node + 1) % 5;
+  }
+  EXPECT_EQ(seen.size(), layout_.bus.size());
+}
+
+TEST_F(LtbTest, EmptyWhenFileExhausted) {
+  while (index_.unprocessed() > 0) binder_.bind(0, 64);
+  const auto split = binder_.bind(0, 4);
+  EXPECT_TRUE(split.bus.empty());
+  EXPECT_EQ(split.local, 0u);
+  EXPECT_EQ(split.remote, 0u);
+}
+
+TEST_F(LtbTest, ShortFinalSplitWhenFewerBusRemain) {
+  while (index_.unprocessed() > 3) {
+    binder_.bind(static_cast<NodeId>(index_.unprocessed() % 5), 8);
+  }
+  const auto remaining = index_.unprocessed();
+  const auto split = binder_.bind(0, 10);
+  EXPECT_EQ(split.bus.size(), remaining);
+}
+
+}  // namespace
+}  // namespace flexmr::flexmap

@@ -1,0 +1,120 @@
+// Metric definitions (Eq. 1 productivity, Eq. 2 efficiency) on
+// hand-constructed task records.
+#include <gtest/gtest.h>
+
+#include "mr/metrics.hpp"
+
+namespace flexmr::mr {
+namespace {
+
+TaskRecord map_task(TaskId id, NodeId node, SimTime dispatch,
+                    SimTime compute, SimTime end, MiB input,
+                    std::uint32_t bus,
+                    TaskStatus status = TaskStatus::kCompleted) {
+  TaskRecord rec;
+  rec.id = id;
+  rec.node = node;
+  rec.kind = TaskKind::kMap;
+  rec.status = status;
+  rec.dispatch_time = dispatch;
+  rec.compute_start = compute;
+  rec.end_time = end;
+  rec.input_mib = input;
+  rec.num_bus = bus;
+  return rec;
+}
+
+TEST(TaskRecord, ProductivityEq1) {
+  const auto rec = map_task(0, 0, 10.0, 12.0, 20.0, 64.0, 8);
+  EXPECT_DOUBLE_EQ(rec.total_runtime(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.effective_runtime(), 8.0);
+  EXPECT_DOUBLE_EQ(rec.productivity(), 0.8);
+}
+
+TEST(TaskRecord, KilledBeforeComputeHasZeroEffective) {
+  auto rec = map_task(0, 0, 10.0, 0.0, 11.0, 0.0, 0, TaskStatus::kKilled);
+  EXPECT_DOUBLE_EQ(rec.effective_runtime(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.productivity(), 0.0);
+  EXPECT_FALSE(rec.credited());
+}
+
+TEST(JobResult, EfficiencyEq2) {
+  JobResult result;
+  result.total_slots = 4;
+  result.map_phase_start = 0.0;
+  result.map_phase_end = 10.0;
+  // Four tasks, each 10s total runtime → serial = 40 = phase × slots → 1.0.
+  for (TaskId id = 0; id < 4; ++id) {
+    result.tasks.push_back(map_task(id, id, 0.0, 2.0, 10.0, 64.0, 8));
+  }
+  EXPECT_DOUBLE_EQ(result.map_serial_runtime(), 40.0);
+  EXPECT_DOUBLE_EQ(result.efficiency(), 1.0);
+}
+
+TEST(JobResult, KilledTasksExcludedFromSerialRuntime) {
+  JobResult result;
+  result.total_slots = 2;
+  result.map_phase_start = 0.0;
+  result.map_phase_end = 10.0;
+  result.tasks.push_back(map_task(0, 0, 0.0, 2.0, 10.0, 64.0, 8));
+  result.tasks.push_back(
+      map_task(1, 1, 0.0, 2.0, 8.0, 30.0, 0, TaskStatus::kKilled));
+  EXPECT_DOUBLE_EQ(result.map_serial_runtime(), 10.0);
+  EXPECT_DOUBLE_EQ(result.efficiency(), 0.5);
+  EXPECT_DOUBLE_EQ(result.wasted_slot_time(), 8.0);
+}
+
+TEST(JobResult, PartialCompletedCountsInSerialRuntime) {
+  JobResult result;
+  result.total_slots = 1;
+  result.map_phase_start = 0.0;
+  result.map_phase_end = 10.0;
+  result.tasks.push_back(
+      map_task(0, 0, 0.0, 2.0, 6.0, 32.0, 4, TaskStatus::kPartialCompleted));
+  EXPECT_DOUBLE_EQ(result.map_serial_runtime(), 6.0);
+  EXPECT_TRUE(result.tasks[0].credited());
+}
+
+TEST(JobResult, ReduceTasksDoNotAffectMapMetrics) {
+  JobResult result;
+  result.total_slots = 1;
+  result.map_phase_start = 0.0;
+  result.map_phase_end = 5.0;
+  result.tasks.push_back(map_task(0, 0, 0.0, 1.0, 5.0, 64.0, 8));
+  TaskRecord reduce;
+  reduce.kind = TaskKind::kReduce;
+  reduce.dispatch_time = 5.0;
+  reduce.compute_start = 7.0;
+  reduce.end_time = 30.0;
+  result.tasks.push_back(reduce);
+  EXPECT_DOUBLE_EQ(result.map_serial_runtime(), 5.0);
+  EXPECT_DOUBLE_EQ(result.efficiency(), 1.0);
+  EXPECT_EQ(result.map_runtimes().count(), 1u);
+}
+
+TEST(JobResult, MeanProductivityOverCompletedMapsOnly) {
+  JobResult result;
+  result.tasks.push_back(map_task(0, 0, 0.0, 2.0, 10.0, 64.0, 8));  // 0.8
+  result.tasks.push_back(map_task(1, 0, 0.0, 4.0, 10.0, 64.0, 8));  // 0.6
+  result.tasks.push_back(
+      map_task(2, 0, 0.0, 2.0, 10.0, 64.0, 0, TaskStatus::kKilled));
+  EXPECT_NEAR(result.mean_map_productivity(), 0.7, 1e-12);
+}
+
+TEST(JobResult, Counters) {
+  JobResult result;
+  result.tasks.push_back(map_task(0, 0, 0.0, 1.0, 2.0, 8.0, 1));
+  result.tasks.push_back(
+      map_task(1, 0, 0.0, 1.0, 2.0, 8.0, 0, TaskStatus::kKilled));
+  EXPECT_EQ(result.count(TaskKind::kMap, TaskStatus::kCompleted), 1u);
+  EXPECT_EQ(result.count(TaskKind::kMap, TaskStatus::kKilled), 1u);
+  EXPECT_EQ(result.map_tasks_launched(), 2u);
+}
+
+TEST(JobResult, EmptyJobHasZeroEfficiency) {
+  JobResult result;
+  EXPECT_DOUBLE_EQ(result.efficiency(), 0.0);
+}
+
+}  // namespace
+}  // namespace flexmr::mr

@@ -1,0 +1,212 @@
+// MultiJobCoordinator: concurrent jobs sharing a cluster under FIFO and
+// fair arbitration.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+#include "mr/multi_job.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr::mr {
+namespace {
+
+struct Fixture {
+  Fixture() : cluster(cluster::presets::homogeneous6()) {}
+
+  hdfs::FileLayout make_layout(MiB size, std::uint64_t seed) {
+    auto bench = workloads::benchmark("WC");
+    bench.small_input = size;
+    return workloads::make_layout(bench, workloads::InputScale::kSmall,
+                                  cluster.num_nodes(), 64.0, 3, seed);
+  }
+
+  JobSpec wc_spec(MiB size, double shuffle = 0.0) {
+    auto bench = workloads::benchmark("WC");
+    bench.small_input = size;
+    bench.shuffle_ratio = shuffle;
+    return workloads::to_job_spec(bench, workloads::InputScale::kSmall);
+  }
+
+  Simulator sim;
+  cluster::Cluster cluster;
+};
+
+void check_exactly_once(const JobResult& result, std::size_t total_bus) {
+  std::size_t credited = 0;
+  for (const auto& task : result.tasks) {
+    if (task.kind == TaskKind::kMap && task.credited()) {
+      credited += task.num_bus;
+    }
+  }
+  EXPECT_EQ(credited, total_bus);
+}
+
+TEST(MultiJob, TwoJobsBothCompleteWithInvariants) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFair);
+  const auto layout1 = f.make_layout(1024.0, 1);
+  const auto layout2 = f.make_layout(1024.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(workloads::SchedulerKind::kFlexMap);
+  coordinator.submit(layout1, f.wc_spec(1024.0), SimParams{}, *sched1, 0.0);
+  coordinator.submit(layout2, f.wc_spec(1024.0), SimParams{}, *sched2, 0.0);
+  const auto results = coordinator.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  check_exactly_once(results[0], 128);
+  check_exactly_once(results[1], 128);
+}
+
+TEST(MultiJob, FifoPrioritizesEarlierJob) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFifo);
+  const auto layout1 = f.make_layout(2048.0, 1);
+  const auto layout2 = f.make_layout(2048.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  coordinator.submit(layout1, f.wc_spec(2048.0), SimParams{}, *sched1, 0.0);
+  coordinator.submit(layout2, f.wc_spec(2048.0), SimParams{}, *sched2, 0.0);
+  const auto results = coordinator.run_all();
+  // Job 1 finishes its map phase before job 2 does (it gets first pick of
+  // every container until it has nothing left to launch).
+  EXPECT_LT(results[0].map_phase_end, results[1].map_phase_end);
+  EXPECT_LT(results[0].finish_time, results[1].finish_time);
+}
+
+TEST(MultiJob, FairSharesSlotsBetweenConcurrentJobs) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFair);
+  const auto layout1 = f.make_layout(2048.0, 1);
+  const auto layout2 = f.make_layout(2048.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  coordinator.submit(layout1, f.wc_spec(2048.0), SimParams{}, *sched1, 0.0);
+  coordinator.submit(layout2, f.wc_spec(2048.0), SimParams{}, *sched2, 0.0);
+  const auto results = coordinator.run_all();
+  // Equal jobs under fair sharing finish at roughly the same time.
+  const double ratio = results[0].finish_time / results[1].finish_time;
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.33);
+}
+
+TEST(MultiJob, StaggeredSubmissionStartsAtSubmitTime) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFifo);
+  const auto layout1 = f.make_layout(1024.0, 1);
+  const auto layout2 = f.make_layout(1024.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  coordinator.submit(layout1, f.wc_spec(1024.0), SimParams{}, *sched1, 0.0);
+  coordinator.submit(layout2, f.wc_spec(1024.0), SimParams{}, *sched2,
+                     30.0);
+  const auto results = coordinator.run_all();
+  EXPECT_DOUBLE_EQ(results[1].submit_time, 30.0);
+  for (const auto& task : results[1].tasks) {
+    EXPECT_GE(task.dispatch_time, 30.0);
+  }
+}
+
+TEST(MultiJob, LateJobUsesSlotsFreedByEarlyJobsReducePhase) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFifo);
+  // Job 1 is reduce-heavy: once its maps finish, few reducers occupy the
+  // cluster and job 2's maps backfill the idle slots.
+  const auto layout1 = f.make_layout(1024.0, 1);
+  const auto layout2 = f.make_layout(1024.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  coordinator.submit(layout1, f.wc_spec(1024.0, 1.0), SimParams{}, *sched1,
+                     0.0);
+  coordinator.submit(layout2, f.wc_spec(1024.0, 0.0), SimParams{}, *sched2,
+                     0.0);
+  const auto results = coordinator.run_all();
+  // Job 2's map phase overlaps job 1's reduce phase.
+  EXPECT_LT(results[1].map_phase_start, results[0].finish_time);
+  check_exactly_once(results[1], 128);
+}
+
+TEST(MultiJob, NodeFailureAffectsEveryJob) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFair);
+  const auto layout1 = f.make_layout(2048.0, 1);
+  const auto layout2 = f.make_layout(2048.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(workloads::SchedulerKind::kFlexMap);
+  coordinator.submit(layout1, f.wc_spec(2048.0, 0.25), SimParams{}, *sched1,
+                     0.0);
+  coordinator.submit(layout2, f.wc_spec(2048.0, 0.25), SimParams{}, *sched2,
+                     0.0);
+  coordinator.schedule_node_failure(1, 25.0);
+  const auto results = coordinator.run_all();
+  for (const auto& result : results) {
+    check_exactly_once(result, 256);
+    // Neither job dispatches anything on the dead node afterwards — and
+    // no task keeps computing on it either: every job's containers there
+    // die at the failure instant (a regression here means one driver
+    // skipped cleanup because another had already marked the RM).
+    for (const auto& task : result.tasks) {
+      if (task.node != 1) continue;
+      EXPECT_LT(task.dispatch_time, 25.0 + 1e-9);
+      EXPECT_LE(task.end_time, 25.0 + 1e-9);
+      if (task.end_time >= 25.0 - 1e-9) {
+        EXPECT_EQ(task.status, mr::TaskStatus::kKilled);
+      }
+    }
+  }
+}
+
+TEST(MultiJob, FailureBeforeLateSubmission) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFifo);
+  const auto layout1 = f.make_layout(1024.0, 1);
+  const auto layout2 = f.make_layout(1024.0, 2);
+  auto sched1 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  auto sched2 = workloads::make_scheduler(
+      workloads::SchedulerKind::kHadoopNoSpec);
+  coordinator.submit(layout1, f.wc_spec(1024.0), SimParams{}, *sched1, 0.0);
+  // Job 2 enters after node 4 is already gone.
+  coordinator.submit(layout2, f.wc_spec(1024.0), SimParams{}, *sched2,
+                     20.0);
+  coordinator.schedule_node_failure(4, 5.0);
+  const auto results = coordinator.run_all();
+  check_exactly_once(results[1], 128);
+  for (const auto& task : results[1].tasks) {
+    EXPECT_NE(task.node, 4u);
+  }
+}
+
+TEST(MultiJob, ManyJobsFifoCompleteInOrder) {
+  Fixture f;
+  MultiJobCoordinator coordinator(f.sim, f.cluster, SharePolicy::kFifo);
+  std::vector<hdfs::FileLayout> layouts;
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  layouts.reserve(4);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    layouts.push_back(f.make_layout(512.0, j + 1));
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    schedulers.push_back(workloads::make_scheduler(
+        workloads::SchedulerKind::kHadoopNoSpec));
+    coordinator.submit(layouts[j], f.wc_spec(512.0), SimParams{},
+                       *schedulers[j], 0.0);
+  }
+  const auto results = coordinator.run_all();
+  for (const auto& result : results) check_exactly_once(result, 64);
+  // Adjacent jobs may swap by execution noise when everything fits in one
+  // wave, but the first job strictly precedes the last: job 4 only gets
+  // leftovers after three 8-map jobs claimed 24 slots.
+  EXPECT_LT(results[0].map_phase_end, results[3].map_phase_end);
+  EXPECT_LT(results[0].finish_time, results[3].finish_time);
+}
+
+}  // namespace
+}  // namespace flexmr::mr

@@ -1,0 +1,200 @@
+// Property-based sweeps (parameterized gtest): the invariants that make
+// the simulator's experiment results trustworthy, checked across the cross
+// product of scheduler × cluster × workload profile × seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "cluster/presets.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr {
+namespace {
+
+using workloads::InputScale;
+using workloads::RunConfig;
+using workloads::SchedulerKind;
+
+enum class ClusterKind { kHomog6, kHetero6, kVirtual20, kTiny3 };
+
+cluster::Cluster make_cluster(ClusterKind kind) {
+  switch (kind) {
+    case ClusterKind::kHomog6: return cluster::presets::homogeneous6();
+    case ClusterKind::kHetero6: return cluster::presets::heterogeneous6();
+    case ClusterKind::kVirtual20: return cluster::presets::virtual20();
+    case ClusterKind::kTiny3: return cluster::presets::tiny3();
+  }
+  throw std::logic_error("bad cluster kind");
+}
+
+const char* cluster_name(ClusterKind kind) {
+  switch (kind) {
+    case ClusterKind::kHomog6: return "Homog6";
+    case ClusterKind::kHetero6: return "Hetero6";
+    case ClusterKind::kVirtual20: return "Virtual20";
+    case ClusterKind::kTiny3: return "Tiny3";
+  }
+  return "?";
+}
+
+using Param = std::tuple<SchedulerKind, ClusterKind, const char*,
+                         std::uint64_t>;
+
+class InvariantSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  mr::JobResult run() {
+    const auto [sched, clu, bench_code, seed] = GetParam();
+    auto cluster = make_cluster(clu);
+    auto bench = workloads::benchmark(bench_code);
+    bench.small_input = 768.0;  // 96 BUs: fast but multi-wave
+    RunConfig config;
+    config.params.seed = seed;
+    total_bus_ = 96;
+    total_slots_ = cluster.total_slots();
+    return workloads::run_job(cluster, bench, InputScale::kSmall, sched,
+                              config);
+  }
+
+  std::size_t total_bus_ = 0;
+  std::uint32_t total_slots_ = 0;
+};
+
+TEST_P(InvariantSweep, EveryBuProcessedExactlyOnce) {
+  const auto result = run();
+  std::size_t credited = 0;
+  for (const auto& task : result.tasks) {
+    if (task.kind == mr::TaskKind::kMap && task.credited()) {
+      credited += task.num_bus;
+    }
+  }
+  EXPECT_EQ(credited, total_bus_);
+}
+
+TEST_P(InvariantSweep, TaskTimelinesAreOrdered) {
+  const auto result = run();
+  for (const auto& task : result.tasks) {
+    EXPECT_GE(task.end_time, task.dispatch_time);
+    if (task.status == mr::TaskStatus::kCompleted &&
+        task.kind == mr::TaskKind::kMap) {
+      EXPECT_GT(task.compute_start, task.dispatch_time);
+      EXPECT_GE(task.end_time, task.compute_start);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, ConcurrencyNeverExceedsSlots) {
+  const auto result = run();
+  // Sweep task intervals per node and check the max overlap against the
+  // node's slot count.
+  std::map<NodeId, std::vector<std::pair<SimTime, int>>> events;
+  for (const auto& task : result.tasks) {
+    events[task.node].push_back({task.dispatch_time, +1});
+    events[task.node].push_back({task.end_time, -1});
+  }
+  auto cluster = make_cluster(std::get<1>(GetParam()));
+  for (auto& [node, list] : events) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;  // ends before starts at ties
+              });
+    int depth = 0;
+    for (const auto& [time, delta] : list) {
+      depth += delta;
+      EXPECT_LE(depth, static_cast<int>(cluster.machine(node).slots()))
+          << "node " << node << " at t=" << time;
+    }
+  }
+}
+
+TEST_P(InvariantSweep, EfficiencyWithinBounds) {
+  const auto result = run();
+  EXPECT_GT(result.efficiency(), 0.0);
+  EXPECT_LE(result.efficiency(), 1.0 + 1e-9);
+}
+
+TEST_P(InvariantSweep, ProductivityWithinBounds) {
+  const auto result = run();
+  for (const auto& task : result.tasks) {
+    EXPECT_GE(task.productivity(), 0.0);
+    EXPECT_LE(task.productivity(), 1.0);
+  }
+}
+
+TEST_P(InvariantSweep, PhaseBoundariesConsistent) {
+  const auto result = run();
+  EXPECT_LE(result.submit_time, result.map_phase_start);
+  EXPECT_LE(result.map_phase_start, result.map_phase_end);
+  EXPECT_LE(result.map_phase_end, result.finish_time + 1e-9);
+  for (const auto& task : result.tasks) {
+    if (task.kind == mr::TaskKind::kMap) {
+      EXPECT_LE(task.end_time, result.map_phase_end + 1e-9);
+    } else {
+      EXPECT_GE(task.dispatch_time, result.map_phase_end - 1e-9);
+    }
+  }
+}
+
+TEST_P(InvariantSweep, DeterministicRepeatability) {
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_DOUBLE_EQ(a.jct(), b.jct());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].node, b.tasks[i].node);
+    EXPECT_DOUBLE_EQ(a.tasks[i].end_time, b.tasks[i].end_time);
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [sched, clu, bench, seed] = info.param;
+  std::string label = workloads::scheduler_label(sched);
+  std::erase_if(label, [](char c) {
+    return !std::isalnum(static_cast<unsigned char>(c));
+  });
+  return label + "_" + cluster_name(clu) + "_" + bench + "_" +
+         std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulersClusters, InvariantSweep,
+    ::testing::Combine(
+        ::testing::Values(SchedulerKind::kHadoop,
+                          SchedulerKind::kHadoopNoSpec,
+                          SchedulerKind::kSkewTune, SchedulerKind::kFlexMap),
+        ::testing::Values(ClusterKind::kHomog6, ClusterKind::kHetero6,
+                          ClusterKind::kVirtual20, ClusterKind::kTiny3),
+        ::testing::Values("WC", "TS"),
+        ::testing::Values(1ull, 42ull)),
+    param_name);
+
+// A focused sweep over block sizes for the stock scheduler: the block size
+// must never change *what* is processed, only how it is chunked.
+class BlockSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockSizeSweep, AllInputProcessedAtAnyBlockSize) {
+  auto cluster = cluster::presets::heterogeneous6();
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = 768.0;
+  RunConfig config;
+  config.block_size = GetParam();
+  const auto result = workloads::run_job(
+      cluster, bench, InputScale::kSmall, SchedulerKind::kHadoopNoSpec,
+      config);
+  MiB processed = 0;
+  for (const auto& task : result.tasks) {
+    if (task.kind == mr::TaskKind::kMap && task.credited()) {
+      processed += task.input_mib;
+    }
+  }
+  EXPECT_NEAR(processed, 768.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockSizeSweep,
+                         ::testing::Values(8.0, 16.0, 32.0, 64.0, 128.0,
+                                           256.0));
+
+}  // namespace
+}  // namespace flexmr

@@ -1,0 +1,93 @@
+// RateIntegrator: progress under piecewise-constant rates — the mechanism
+// every running task's completion estimate is built on.
+#include <gtest/gtest.h>
+
+#include "simcore/rate_integrator.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(RateIntegrator, ConstantRateProgress) {
+  RateIntegrator ri(100.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(ri.done(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(ri.remaining(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(ri.progress(5.0), 0.5);
+  EXPECT_FALSE(ri.finished(5.0));
+  EXPECT_TRUE(ri.finished(10.0));
+}
+
+TEST(RateIntegrator, EtaUnderConstantRate) {
+  RateIntegrator ri(100.0, 10.0, 0.0);
+  const auto eta = ri.eta(0.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 10.0);
+}
+
+TEST(RateIntegrator, RateChangeReestimatesEta) {
+  RateIntegrator ri(100.0, 10.0, 0.0);
+  ri.set_rate(5.0, 5.0);  // 50 done, 50 left at half speed
+  const auto eta = ri.eta(5.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 15.0);
+}
+
+TEST(RateIntegrator, MultipleRateChangesIntegrateExactly) {
+  RateIntegrator ri(60.0, 1.0, 0.0);
+  ri.set_rate(10.0, 2.0);   // 10 done
+  ri.set_rate(20.0, 0.5);   // 30 done
+  ri.set_rate(40.0, 10.0);  // 40 done
+  const auto eta = ri.eta(40.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 42.0);
+}
+
+TEST(RateIntegrator, ZeroRateStalls) {
+  RateIntegrator ri(100.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(ri.done(100.0), 0.0);
+  EXPECT_FALSE(ri.eta(100.0).has_value());
+}
+
+TEST(RateIntegrator, ZeroRateThenResume) {
+  RateIntegrator ri(10.0, 1.0, 0.0);
+  ri.set_rate(5.0, 0.0);
+  ri.set_rate(50.0, 1.0);
+  EXPECT_DOUBLE_EQ(ri.done(50.0), 5.0);
+  const auto eta = ri.eta(50.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 55.0);
+}
+
+TEST(RateIntegrator, DoneClampsAtTotal) {
+  RateIntegrator ri(10.0, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(ri.done(1000.0), 10.0);
+  EXPECT_DOUBLE_EQ(ri.progress(1000.0), 1.0);
+}
+
+TEST(RateIntegrator, EtaWhenAlreadyFinishedIsNow) {
+  RateIntegrator ri(10.0, 10.0, 0.0);
+  const auto eta = ri.eta(5.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 5.0);
+}
+
+TEST(RateIntegrator, GrowTotalExtendsWork) {
+  RateIntegrator ri(10.0, 1.0, 0.0);
+  ri.grow_total(5.0, 10.0);  // 5 done, 15 remaining
+  EXPECT_DOUBLE_EQ(ri.total(), 20.0);
+  const auto eta = ri.eta(5.0);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(*eta, 20.0);
+}
+
+TEST(RateIntegrator, QueryingBackwardsThrows) {
+  RateIntegrator ri(10.0, 1.0, 5.0);
+  EXPECT_THROW(ri.done(4.0), InvariantError);
+}
+
+TEST(RateIntegrator, ConstructionValidatesArguments) {
+  EXPECT_THROW(RateIntegrator(0.0, 1.0, 0.0), InvariantError);
+  EXPECT_THROW(RateIntegrator(10.0, -1.0, 0.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr

@@ -1,0 +1,121 @@
+// ResourceManager: slot accounting and the offer protocol.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace flexmr::yarn {
+namespace {
+
+cluster::Cluster two_nodes() {
+  return cluster::ClusterBuilder()
+      .add(cluster::MachineSpec{.model = "a", .base_ips = 10.0, .slots = 2,
+                                .nic_bandwidth = 1192.0, .memory_gb = 8.0},
+           1)
+      .add(cluster::MachineSpec{.model = "b", .base_ips = 10.0, .slots = 3,
+                                .nic_bandwidth = 1192.0, .memory_gb = 8.0},
+           1)
+      .build();
+}
+
+TEST(ResourceManager, InitialSlotsMatchCluster) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  EXPECT_EQ(rm.total_slots(), 5u);
+  EXPECT_EQ(rm.total_free(), 5u);
+  EXPECT_EQ(rm.free_slots(0), 2u);
+  EXPECT_EQ(rm.free_slots(1), 3u);
+}
+
+TEST(ResourceManager, AcquireReleaseRoundTrip) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  rm.acquire(0);
+  rm.acquire(0);
+  EXPECT_EQ(rm.free_slots(0), 0u);
+  EXPECT_THROW(rm.acquire(0), InvariantError);
+  rm.release(0);
+  EXPECT_EQ(rm.free_slots(0), 1u);
+}
+
+TEST(ResourceManager, OfferAllVisitsEveryFreeSlotWhenConsumed) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  std::vector<NodeId> offered;
+  rm.set_offer_handler([&](NodeId node) {
+    offered.push_back(node);
+    return true;  // consume
+  });
+  rm.offer_all();
+  EXPECT_EQ(offered.size(), 5u);
+  EXPECT_EQ(rm.total_free(), 0u);
+}
+
+TEST(ResourceManager, DeclinedOffersLeaveSlotsFree) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  int offers = 0;
+  rm.set_offer_handler([&](NodeId) {
+    ++offers;
+    return false;
+  });
+  rm.offer_all();
+  EXPECT_EQ(offers, 2);  // one decline per node stops that node
+  EXPECT_EQ(rm.total_free(), 5u);
+}
+
+TEST(ResourceManager, ReleaseTriggersOfferOnThatNode) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  rm.acquire(1);
+  std::vector<NodeId> offered;
+  rm.set_offer_handler([&](NodeId node) {
+    offered.push_back(node);
+    return true;
+  });
+  rm.release(1);
+  // The released slot plus node 1's two other free slots are offered.
+  EXPECT_EQ(offered.size(), 3u);
+  for (const NodeId node : offered) EXPECT_EQ(node, 1u);
+}
+
+TEST(ResourceManager, ReentrantReleaseDoesNotRecurse) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  for (int i = 0; i < 2; ++i) rm.acquire(0);
+  int depth = 0;
+  int max_depth = 0;
+  rm.set_offer_handler([&](NodeId) {
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+    rm.release(0);  // re-entrant: must not recurse into offers
+    --depth;
+    return false;
+  });
+  rm.offer_node(1);
+  EXPECT_EQ(max_depth, 1);
+  EXPECT_EQ(rm.free_slots(0), 1u);  // exactly one release happened
+}
+
+TEST(ResourceManager, NoHandlerIsSafe) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  rm.offer_all();  // no crash
+  rm.acquire(0);
+  rm.release(0);
+  EXPECT_EQ(rm.total_free(), 5u);
+}
+
+TEST(ResourceManager, PartialConsumptionStopsAtDecline) {
+  auto cluster = two_nodes();
+  ResourceManager rm(cluster);
+  int accepted = 0;
+  rm.set_offer_handler([&](NodeId) { return ++accepted <= 3; });
+  rm.offer_all();
+  EXPECT_EQ(rm.total_free(), 5u - 3u);
+}
+
+}  // namespace
+}  // namespace flexmr::yarn

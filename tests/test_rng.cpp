@@ -1,0 +1,141 @@
+// Deterministic RNG: reproducibility, distribution sanity (moment checks
+// with generous tolerances — these guard against wiring bugs, not
+// statistical quality regressions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Child continues deterministically.
+  Rng parent2(7);
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child(), child2());
+  // And differs from the parent's stream.
+  EXPECT_NE(child(), parent());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(6);
+    ASSERT_LT(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces of the die appear
+}
+
+TEST(Rng, UniformIntOne) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(4.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), InvariantError);
+  EXPECT_THROW(rng.exponential(0.0), InvariantError);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr

@@ -1,0 +1,231 @@
+// The real threaded mini-MapReduce runtime: output correctness (elastic ≡
+// fixed ≡ single-threaded reference), late-binding behavior, and the
+// heterogeneity emulation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rt/engine.hpp"
+
+namespace flexmr::rt {
+namespace {
+
+Dataset small_dataset(std::uint64_t seed = 1) {
+  return Dataset::generate_text(/*num_chunks=*/48, /*chunk_bytes=*/4096,
+                                seed);
+}
+
+/// Single-threaded reference wordcount.
+std::map<std::string, Value> reference_wordcount(const Dataset& dataset) {
+  std::map<std::string, Value> counts;
+  for (std::size_t c = 0; c < dataset.num_chunks(); ++c) {
+    for_each_token(dataset.chunk(c), [&](std::string_view token) {
+      ++counts[std::string(token)];
+    });
+  }
+  return counts;
+}
+
+EngineConfig fast_config() {
+  EngineConfig config;
+  config.task_startup = std::chrono::microseconds{300};
+  return config;
+}
+
+TEST(Dataset, DeterministicGeneration) {
+  const auto a = Dataset::generate_text(4, 1024, 7);
+  const auto b = Dataset::generate_text(4, 1024, 7);
+  ASSERT_EQ(a.num_chunks(), b.num_chunks());
+  for (std::size_t c = 0; c < a.num_chunks(); ++c) {
+    EXPECT_EQ(a.chunk(c), b.chunk(c));
+  }
+  EXPECT_GE(a.total_bytes(), 4u * 1024u);
+}
+
+TEST(Dataset, ChunksEndAtWordBoundaries) {
+  const auto data = Dataset::generate_text(3, 512, 5);
+  for (std::size_t c = 0; c < data.num_chunks(); ++c) {
+    EXPECT_EQ(data.chunk(c).back(), ' ');
+  }
+}
+
+TEST(Udf, TokenizerHandlesEdges) {
+  std::vector<std::string> tokens;
+  for_each_token("  a bb  ccc ", [&](std::string_view t) {
+    tokens.emplace_back(t);
+  });
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "bb", "ccc"}));
+  for_each_token("", [&](std::string_view) { FAIL(); });
+  for_each_token("   ", [&](std::string_view) { FAIL(); });
+}
+
+TEST(Udf, EmitterCombines) {
+  Emitter emitter;
+  emitter.emit("x", 1);
+  emitter.emit("x", 2);
+  emitter.emit("y", 5);
+  const auto out = emitter.take();
+  EXPECT_EQ(out.at("x"), 3);
+  EXPECT_EQ(out.at("y"), 5);
+}
+
+TEST(Engine, FixedWordcountMatchesReference) {
+  const auto dataset = small_dataset();
+  MapReduceEngine engine({{1.0}, {1.0}, {1.0}, {1.0}}, fast_config());
+  const auto result =
+      engine.run_fixed(dataset, wordcount_map(), sum_reduce(), 4);
+  EXPECT_EQ(result.output, reference_wordcount(dataset));
+  EXPECT_EQ(result.map_tasks(), 12u);  // 48 chunks / 4
+}
+
+TEST(Engine, ElasticWordcountMatchesReference) {
+  const auto dataset = small_dataset();
+  MapReduceEngine engine({{1.0}, {0.5}, {1.0}, {0.25}}, fast_config());
+  const auto result =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+  EXPECT_EQ(result.output, reference_wordcount(dataset));
+}
+
+TEST(Engine, ElasticEqualsFixedOutputAcrossSeeds) {
+  for (const std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    const auto dataset = small_dataset(seed);
+    MapReduceEngine engine({{1.0}, {0.3}}, fast_config());
+    const auto fixed =
+        engine.run_fixed(dataset, wordcount_map(), sum_reduce(), 6);
+    const auto elastic =
+        engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+    EXPECT_EQ(fixed.output, elastic.output) << "seed " << seed;
+  }
+}
+
+TEST(Engine, EveryChunkProcessedExactlyOnce) {
+  const auto dataset = small_dataset();
+  MapReduceEngine engine({{1.0}, {0.5}, {0.7}}, fast_config());
+  const auto result =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+  std::size_t chunks = 0;
+  for (const auto& task : result.tasks) chunks += task.num_chunks;
+  EXPECT_EQ(chunks, dataset.num_chunks());
+  std::size_t per_worker = 0;
+  for (const auto count : result.chunks_per_worker) per_worker += count;
+  EXPECT_EQ(per_worker, dataset.num_chunks());
+}
+
+TEST(Engine, GrepCountsOnlyMatches) {
+  const auto dataset = small_dataset();
+  MapReduceEngine engine({{1.0}, {1.0}}, fast_config());
+  const auto result =
+      engine.run_fixed(dataset, grep_map("w1"), sum_reduce(), 8);
+  for (const auto& [key, value] : result.output) {
+    EXPECT_NE(key.find("w1"), std::string::npos);
+    EXPECT_GT(value, 0);
+  }
+  EXPECT_FALSE(result.output.empty());  // "w1", "w10".. are frequent
+}
+
+TEST(Engine, HistogramPartitionsAllTokens) {
+  const auto dataset = small_dataset();
+  MapReduceEngine engine({{1.0}, {1.0}}, fast_config());
+  const auto result =
+      engine.run_fixed(dataset, histogram_map(), sum_reduce(), 8);
+  Value total = 0;
+  for (const auto& [key, value] : result.output) {
+    EXPECT_EQ(key.rfind("len", 0), 0u);
+    total += value;
+  }
+  Value reference_total = 0;
+  for (const auto& [key, value] : reference_wordcount(dataset)) {
+    (void)key;
+    reference_total += value;
+  }
+  EXPECT_EQ(total, reference_total);
+}
+
+TEST(Engine, ElasticGrowsTaskSizes) {
+  const auto dataset = Dataset::generate_text(160, 4096, 9);
+  MapReduceEngine engine({{1.0}, {1.0}}, fast_config());
+  const auto result =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+  std::size_t max_chunks = 0;
+  std::size_t first_chunks = result.tasks.empty()
+                                 ? 0
+                                 : result.tasks.front().num_chunks;
+  for (const auto& task : result.tasks) {
+    max_chunks = std::max(max_chunks, task.num_chunks);
+  }
+  EXPECT_EQ(first_chunks, 1u);  // everyone starts at one chunk
+  EXPECT_GT(max_chunks, 2u);    // and grows
+  EXPECT_LT(result.map_tasks(), 160u);  // fewer tasks than chunks
+}
+
+TEST(Engine, SlowWorkerProcessesFewerChunks) {
+  const auto dataset = Dataset::generate_text(96, 8192, 21);
+  MapReduceEngine engine({{1.0}, {0.2}}, fast_config());
+  const auto result =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+  EXPECT_GT(result.chunks_per_worker[0], result.chunks_per_worker[1]);
+}
+
+TEST(Engine, ReducerCountDoesNotChangeOutput) {
+  const auto dataset = small_dataset();
+  for (const std::uint32_t reducers : {1u, 2u, 7u, 16u}) {
+    EngineConfig config = fast_config();
+    config.num_reducers = reducers;
+    MapReduceEngine engine({{1.0}, {1.0}}, config);
+    const auto result =
+        engine.run_fixed(dataset, wordcount_map(), sum_reduce(), 4);
+    EXPECT_EQ(result.output, reference_wordcount(dataset))
+        << reducers << " reducers";
+  }
+}
+
+TEST(WorkerSpec, SpeedScheduleLookup) {
+  WorkerSpec worker(1.0, {{1.0, 0.5}, {2.0, 0.25}, {5.0, 1.0}});
+  EXPECT_DOUBLE_EQ(worker.speed_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(worker.speed_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(worker.speed_at(1.9), 0.5);
+  EXPECT_DOUBLE_EQ(worker.speed_at(3.0), 0.25);
+  EXPECT_DOUBLE_EQ(worker.speed_at(100.0), 1.0);
+}
+
+TEST(Engine, DynamicSlowdownStillProducesCorrectOutput) {
+  const auto dataset = Dataset::generate_text(96, 8192, 33);
+  // Worker 1 collapses to 15% speed as soon as the job starts (a noisy
+  // neighbor arriving) — the schedule path must throttle it from the
+  // first chunk on, and elastic sizing must shift work to worker 0.
+  MapReduceEngine engine(
+      {{1.0, {}}, {1.0, {{0.0, 0.15}}}}, fast_config());
+  const auto result =
+      engine.run_elastic(dataset, wordcount_map(), sum_reduce());
+  std::map<std::string, Value> reference;
+  for (std::size_t c = 0; c < dataset.num_chunks(); ++c) {
+    for_each_token(dataset.chunk(c), [&](std::string_view token) {
+      ++reference[std::string(token)];
+    });
+  }
+  EXPECT_EQ(result.output, reference);
+  // The healthy worker absorbs most of the input.
+  EXPECT_GT(result.chunks_per_worker[0], result.chunks_per_worker[1]);
+}
+
+TEST(Engine, ScheduleValidation) {
+  EXPECT_THROW(
+      MapReduceEngine({{1.0, {{5.0, 0.5}, {1.0, 0.5}}}}, EngineConfig{}),
+      InvariantError);
+  EXPECT_THROW(MapReduceEngine({{1.0, {{1.0, 0.0}}}}, EngineConfig{}),
+               InvariantError);
+}
+
+TEST(Engine, InvalidConfigThrows) {
+  EXPECT_THROW(MapReduceEngine({}, EngineConfig{}), InvariantError);
+  EXPECT_THROW(MapReduceEngine({{0.0}}, EngineConfig{}), InvariantError);
+  EXPECT_THROW(MapReduceEngine({{2.0}}, EngineConfig{}), InvariantError);
+  MapReduceEngine engine({{1.0}}, EngineConfig{});
+  const auto dataset = Dataset::generate_text(2, 256, 1);
+  EXPECT_THROW(
+      engine.run_fixed(dataset, wordcount_map(), sum_reduce(), 0),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr::rt

@@ -1,0 +1,134 @@
+// Unit tests for the discrete-event core: ordering, cancellation,
+// determinism, and the run/run_until protocol.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&]() { order.push_back(3); });
+  sim.schedule_at(1.0, [&]() { order.push_back(1); });
+  sim.schedule_at(2.0, [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i]() { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(10.0, [&]() {
+    sim.schedule_after(5.0, [&]() { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&]() { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, []() {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, []() {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    ++count;
+    if (count < 5) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndSetsClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i), [&, i]() {
+      fired.push_back(static_cast<SimTime>(i));
+    });
+  }
+  sim.run_until(3.5);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.5);
+  sim.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtExactBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&]() { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, []() {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, []() {}), InvariantError);
+}
+
+TEST(Simulator, RunawayGuardThrows) {
+  Simulator sim;
+  std::function<void()> forever = [&]() { sim.schedule_after(1.0, forever); };
+  sim.schedule_at(0.0, forever);
+  EXPECT_THROW(sim.run(1000), InvariantError);
+}
+
+TEST(Simulator, LiveEventsTracksCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, []() {});
+  sim.schedule_at(2.0, []() {});
+  EXPECT_EQ(sim.live_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.live_events(), 1u);
+}
+
+}  // namespace
+}  // namespace flexmr

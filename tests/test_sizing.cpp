@@ -1,0 +1,129 @@
+// DynamicSizer — Algorithm 1 (vertical + horizontal scaling) semantics.
+#include <gtest/gtest.h>
+
+#include "flexmap/sizing.hpp"
+
+namespace flexmr::flexmap {
+namespace {
+
+TEST(DynamicSizer, StartsAtOneBu) {
+  DynamicSizer sizer(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(sizer.size_unit(n), 1u);
+    EXPECT_EQ(sizer.task_size(n, 1.0), 1u);
+    EXPECT_FALSE(sizer.frozen(n));
+  }
+}
+
+TEST(DynamicSizer, FastScalingDoublesBelowFastLimit) {
+  DynamicSizer sizer(1);
+  EXPECT_TRUE(sizer.on_task_complete(0, 0, 0.3));  // < 0.8 → double
+  EXPECT_EQ(sizer.size_unit(0), 2u);
+  EXPECT_TRUE(sizer.on_task_complete(0, 1, 0.5));
+  EXPECT_EQ(sizer.size_unit(0), 4u);
+  EXPECT_TRUE(sizer.on_task_complete(0, 2, 0.79));
+  EXPECT_EQ(sizer.size_unit(0), 8u);
+}
+
+TEST(DynamicSizer, LinearScalingAddsOneBuBetweenLimits) {
+  DynamicSizer sizer(1);
+  sizer.on_task_complete(0, 0, 0.85);  // in [0.8, 0.9) → +1
+  EXPECT_EQ(sizer.size_unit(0), 2u);
+  sizer.on_task_complete(0, 1, 0.89);
+  EXPECT_EQ(sizer.size_unit(0), 3u);
+}
+
+TEST(DynamicSizer, FreezesAtLinearLimit) {
+  DynamicSizer sizer(1);
+  sizer.on_task_complete(0, 0, 0.3);
+  EXPECT_FALSE(sizer.on_task_complete(0, 1, 0.95));
+  EXPECT_TRUE(sizer.frozen(0));
+  EXPECT_EQ(sizer.size_unit(0), 2u);
+  // Further feedback is ignored once frozen.
+  EXPECT_FALSE(sizer.on_task_complete(0, 2, 0.1));
+  EXPECT_EQ(sizer.size_unit(0), 2u);
+}
+
+TEST(DynamicSizer, StaleEpochFeedbackIgnored) {
+  DynamicSizer sizer(1);
+  EXPECT_EQ(sizer.epoch(0), 0u);
+  sizer.on_task_complete(0, 0, 0.3);  // epoch 0 consumed
+  EXPECT_EQ(sizer.epoch(0), 1u);
+  // Another wave-0 task finishing must not double again.
+  EXPECT_FALSE(sizer.on_task_complete(0, 0, 0.3));
+  EXPECT_EQ(sizer.size_unit(0), 2u);
+  // Fresh-epoch feedback does.
+  EXPECT_TRUE(sizer.on_task_complete(0, 1, 0.3));
+  EXPECT_EQ(sizer.size_unit(0), 4u);
+}
+
+TEST(DynamicSizer, NodesGrowIndependently) {
+  DynamicSizer sizer(2);
+  sizer.on_task_complete(0, 0, 0.3);
+  sizer.on_task_complete(0, 1, 0.3);
+  sizer.on_task_complete(1, 0, 0.85);
+  EXPECT_EQ(sizer.size_unit(0), 4u);
+  EXPECT_EQ(sizer.size_unit(1), 2u);
+}
+
+TEST(DynamicSizer, HorizontalScalingMultipliesBySpeed) {
+  DynamicSizer sizer(1);
+  sizer.on_task_complete(0, 0, 0.3);  // unit = 2
+  EXPECT_EQ(sizer.task_size(0, 3.0), 6u);
+  EXPECT_EQ(sizer.task_size(0, 1.0), 2u);
+  // Rounding to nearest; never below 1 BU.
+  EXPECT_EQ(sizer.task_size(0, 1.3), 3u);  // 2.6 → 3
+  EXPECT_EQ(sizer.task_size(0, 0.2), 1u);
+}
+
+TEST(DynamicSizer, VerticalDisabledKeepsUnitAtOne) {
+  SizingOptions options;
+  options.vertical = false;
+  DynamicSizer sizer(1, options);
+  EXPECT_FALSE(sizer.on_task_complete(0, 0, 0.1));
+  EXPECT_EQ(sizer.size_unit(0), 1u);
+  EXPECT_EQ(sizer.task_size(0, 4.0), 4u);  // horizontal still applies
+}
+
+TEST(DynamicSizer, HorizontalDisabledIgnoresSpeed) {
+  SizingOptions options;
+  options.horizontal = false;
+  DynamicSizer sizer(1, options);
+  sizer.on_task_complete(0, 0, 0.3);
+  EXPECT_EQ(sizer.task_size(0, 10.0), 2u);
+}
+
+TEST(DynamicSizer, MaxUnitCapFreezes) {
+  SizingOptions options;
+  options.max_unit_bus = 4;
+  DynamicSizer sizer(1, options);
+  sizer.on_task_complete(0, 0, 0.1);  // 2
+  sizer.on_task_complete(0, 1, 0.1);  // 4
+  sizer.on_task_complete(0, 2, 0.1);  // would be 8 → capped
+  EXPECT_EQ(sizer.size_unit(0), 4u);
+  EXPECT_TRUE(sizer.frozen(0));
+}
+
+TEST(DynamicSizer, PaperTrajectoryReproduced) {
+  // §III-E example: productivity below FAST_LIMIT keeps doubling — 1, 2,
+  // 4, 8, 16, 32 (Fig. 7a ends at 32 BUs on the fast node).
+  DynamicSizer sizer(1);
+  const double prods[] = {0.2, 0.35, 0.5, 0.65, 0.78};
+  std::uint32_t expected = 1;
+  for (std::uint32_t wave = 0; wave < 5; ++wave) {
+    sizer.on_task_complete(0, wave, prods[wave]);
+    expected *= 2;
+    EXPECT_EQ(sizer.size_unit(0), expected);
+  }
+  EXPECT_EQ(sizer.size_unit(0), 32u);
+}
+
+TEST(DynamicSizer, InvalidLimitsThrow) {
+  SizingOptions options;
+  options.fast_limit = 0.95;
+  options.linear_limit = 0.9;
+  EXPECT_THROW(DynamicSizer(1, options), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr::flexmap

@@ -1,0 +1,88 @@
+// SpeedMonitor (Eq. 3 bookkeeping) and BiasedReducePlacer (c² acceptance).
+#include <gtest/gtest.h>
+
+#include "flexmap/reduce_placer.hpp"
+#include "flexmap/speed_monitor.hpp"
+
+namespace flexmr::flexmap {
+namespace {
+
+TEST(SpeedMonitor, UnknownUntilFirstReport) {
+  SpeedMonitor monitor(3);
+  EXPECT_FALSE(monitor.get_speed(0).has_value());
+  EXPECT_FALSE(monitor.slowest().has_value());
+  EXPECT_FALSE(monitor.fastest().has_value());
+  EXPECT_EQ(monitor.known_nodes(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.relative_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.capacity(0), 1.0);
+}
+
+TEST(SpeedMonitor, TracksLatestPerNode) {
+  SpeedMonitor monitor(3);
+  monitor.update(0, 10.0);
+  monitor.update(0, 12.0);
+  EXPECT_DOUBLE_EQ(*monitor.get_speed(0), 12.0);
+  EXPECT_EQ(monitor.known_nodes(), 1u);
+}
+
+TEST(SpeedMonitor, SlowestAndFastestOverKnownNodes) {
+  SpeedMonitor monitor(4);
+  monitor.update(1, 4.0);
+  monitor.update(2, 16.0);
+  EXPECT_DOUBLE_EQ(*monitor.slowest(), 4.0);
+  EXPECT_DOUBLE_EQ(*monitor.fastest(), 16.0);
+}
+
+TEST(SpeedMonitor, RelativeSpeedVsSlowest) {
+  SpeedMonitor monitor(3);
+  monitor.update(0, 4.0);
+  monitor.update(1, 12.0);
+  EXPECT_DOUBLE_EQ(monitor.relative_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.relative_speed(1), 3.0);
+  // Unknown node: neutral ratio.
+  EXPECT_DOUBLE_EQ(monitor.relative_speed(2), 1.0);
+}
+
+TEST(SpeedMonitor, CapacityNormalizedToFastest) {
+  SpeedMonitor monitor(2);
+  monitor.update(0, 5.0);
+  monitor.update(1, 20.0);
+  EXPECT_DOUBLE_EQ(monitor.capacity(1), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.capacity(0), 0.25);
+}
+
+TEST(SpeedMonitor, OutOfRangeNodeThrows) {
+  SpeedMonitor monitor(2);
+  EXPECT_THROW(monitor.update(5, 1.0), InvariantError);
+  EXPECT_THROW(monitor.get_speed(5), InvariantError);
+}
+
+TEST(BiasedReducePlacer, FullCapacityAlwaysAccepts) {
+  BiasedReducePlacer placer(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(placer.accept(1.0));
+}
+
+TEST(BiasedReducePlacer, ZeroCapacityNeverAccepts) {
+  BiasedReducePlacer placer(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(placer.accept(0.0));
+}
+
+TEST(BiasedReducePlacer, AcceptanceRateIsCapacitySquared) {
+  BiasedReducePlacer placer(3);
+  const double c = 0.5;
+  int accepted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (placer.accept(c)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / n, c * c, 0.02);
+}
+
+TEST(BiasedReducePlacer, InvalidCapacityThrows) {
+  BiasedReducePlacer placer(4);
+  EXPECT_THROW(placer.accept(-0.1), InvariantError);
+  EXPECT_THROW(placer.accept(1.1), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr::flexmap

@@ -1,0 +1,146 @@
+// Statistics accumulators: correctness of moments, quantiles, histograms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Sample variance of 1..100 = n(n+1)/12 = 841.66...
+  EXPECT_NEAR(s.variance(), 841.6666666, 1e-6);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(OnlineStats, MergeEqualsConcatenation) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsNoop) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  SampleSet s;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 2.0);  // interpolated
+}
+
+TEST(SampleSet, AddAfterQuantileResorts) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleSet, CvZeroMeanAndConstant) {
+  SampleSet s;
+  s.add(5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(SampleSet, NormalizeByMax) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(8.0);
+  s.normalize_by_max();
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.25);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.25 + 0.5 + 1.0);
+}
+
+TEST(SampleSet, NormalizeEmptyIsNoop) {
+  SampleSet s;
+  s.normalize_by_max();  // must not crash
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Histogram, BinningAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bin_count(b), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(b), 0.1);
+    EXPECT_DOUBLE_EQ(h.density(b), 0.1);  // 1/(10 * width 1)
+  }
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 6.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 5.5);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(0.5);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvariantError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr

@@ -1,0 +1,59 @@
+// TextTable renderer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable table({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);  // hdr+sep+2 rows
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable table({"x", "y"});
+  table.add_row({"longvalue", "1"});
+  const std::string out = table.str();
+  // Header cell is padded to the width of the longest cell + 2.
+  EXPECT_NE(out.find("x         "), std::string::npos);
+}
+
+TEST(TextTable, WrongRowWidthThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvariantError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), InvariantError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), InvariantError);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"x"});
+  EXPECT_EQ(table.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace flexmr

@@ -1,0 +1,94 @@
+// ThreadPool: the bench harness's parallel sweep substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace flexmr {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter]() { ++counter; }));
+  }
+  for (auto& fut : futures) fut.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEveryElement) {
+  ThreadPool pool(4);
+  std::vector<int> items(200);
+  std::iota(items.begin(), items.end(), 0);
+  std::atomic<long> sum{0};
+  pool.parallel_for_each(items.begin(), items.end(),
+                         [&sum](int x) { sum += x; });
+  EXPECT_EQ(sum.load(), 199L * 200 / 2);
+}
+
+TEST(ThreadPool, ParallelForEachRethrowsFirstError) {
+  ThreadPool pool(4);
+  std::vector<int> items{1, 2, 3, 4, 5};
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      pool.parallel_for_each(items.begin(), items.end(),
+                             [&visited](int x) {
+                               ++visited;
+                               if (x == 3) throw std::runtime_error("x=3");
+                             }),
+      std::runtime_error);
+  EXPECT_EQ(visited.load(), 5);  // remaining items still ran
+}
+
+TEST(ThreadPool, ParallelForIndexCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for_index(64, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter]() { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorker) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool]() {
+    auto inner = pool.submit([]() { return 5; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 6);
+}
+
+}  // namespace
+}  // namespace flexmr

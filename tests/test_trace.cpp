@@ -1,0 +1,58 @@
+// Trace export and Gantt rendering.
+#include <gtest/gtest.h>
+
+#include "cluster/presets.hpp"
+#include "mr/trace.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr::mr {
+namespace {
+
+JobResult run_small(cluster::Cluster& cluster) {
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = 256.0;
+  return workloads::run_job(cluster, bench,
+                            workloads::InputScale::kSmall,
+                            workloads::SchedulerKind::kHadoopNoSpec,
+                            workloads::RunConfig{});
+}
+
+TEST(Trace, CsvHasHeaderAndOneRowPerTask) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = run_small(cluster);
+  const std::string csv = trace_csv(result);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), result.tasks.size() + 1);
+  EXPECT_EQ(csv.rfind("id,kind,status,node", 0), 0u);
+  EXPECT_NE(csv.find(",map,"), std::string::npos);
+  EXPECT_NE(csv.find(",reduce,"), std::string::npos);
+}
+
+TEST(Trace, GanttHasOneLanePerSlot) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = run_small(cluster);
+  const std::string art = gantt(result, cluster, 60);
+  const auto lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), 1 + cluster.total_slots());
+  EXPECT_NE(art.find('='), std::string::npos);  // map work is visible
+  EXPECT_NE(art.find('#'), std::string::npos);  // reduce work is visible
+}
+
+TEST(Trace, GanttRowsHaveRequestedWidth) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = run_small(cluster);
+  const std::string art = gantt(result, cluster, 40);
+  std::size_t pos = art.find('|');
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t close = art.find('|', pos + 1);
+  EXPECT_EQ(close - pos - 1, 40u);
+}
+
+TEST(Trace, TooNarrowWidthThrows) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = run_small(cluster);
+  EXPECT_THROW(gantt(result, cluster, 5), InvariantError);
+}
+
+}  // namespace
+}  // namespace flexmr::mr

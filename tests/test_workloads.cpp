@@ -1,0 +1,102 @@
+// PUMA workload table and layout generation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/puma.hpp"
+
+namespace flexmr::workloads {
+namespace {
+
+TEST(Puma, SuiteHasEightBenchmarksInFigureOrder) {
+  const auto& suite = puma_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  const char* order[] = {"WC", "II", "TV", "GR", "KM", "HR", "HM", "TS"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(suite[i].code, order[i]);
+}
+
+TEST(Puma, TableIiInputSizes) {
+  // Spot-check against Table II.
+  EXPECT_DOUBLE_EQ(benchmark("WC").small_input, gib_to_mib(20));
+  EXPECT_DOUBLE_EQ(benchmark("WC").large_input, gib_to_mib(256));
+  EXPECT_DOUBLE_EQ(benchmark("TS").small_input, gib_to_mib(10));
+  EXPECT_DOUBLE_EQ(benchmark("TS").large_input, gib_to_mib(128));
+  EXPECT_DOUBLE_EQ(benchmark("HM").large_input, gib_to_mib(128));
+}
+
+TEST(Puma, MapHeavyVsReduceHeavyProfiles) {
+  // §IV-B: WC/GR/HR/HM are map-heavy; II/TS reduce-dominated.
+  for (const char* code : {"WC", "GR", "HR", "HM", "KM"}) {
+    EXPECT_LT(benchmark(code).shuffle_ratio, 0.3) << code;
+  }
+  for (const char* code : {"II", "TS"}) {
+    EXPECT_GE(benchmark(code).shuffle_ratio, 0.9) << code;
+  }
+}
+
+TEST(Puma, UnknownCodeThrows) {
+  EXPECT_THROW(benchmark("nope"), ConfigError);
+}
+
+TEST(Puma, ToJobSpecCopiesProfile) {
+  const auto spec = to_job_spec(benchmark("II"), InputScale::kSmall, 7);
+  EXPECT_EQ(spec.name, "inverted-index");
+  EXPECT_DOUBLE_EQ(spec.input_size, gib_to_mib(20));
+  EXPECT_EQ(spec.num_reducers, 7u);
+  EXPECT_GT(spec.reduce_key_skew, 0.0);
+  EXPECT_FALSE(spec.map_only());
+}
+
+TEST(Puma, MakeLayoutSizesAndCosts) {
+  auto bench = benchmark("WC");
+  bench.small_input = 640.0;
+  const auto layout = make_layout(bench, InputScale::kSmall, 8, 64.0, 3, 7);
+  EXPECT_EQ(layout.blocks.size(), 10u);
+  EXPECT_EQ(layout.bus.size(), 80u);
+  // Record skew: costs vary but have roughly unit mean.
+  double sum = 0;
+  bool varied = false;
+  for (const auto& bu : layout.bus) {
+    EXPECT_GT(bu.cost, 0.0);
+    sum += bu.cost;
+    if (std::abs(bu.cost - 1.0) > 1e-9) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  EXPECT_NEAR(sum / 80.0, 1.0, 0.15);
+}
+
+TEST(Puma, TeraGenNearlyUniformCosts) {
+  auto bench = benchmark("TS");
+  bench.small_input = 640.0;
+  const auto layout = make_layout(bench, InputScale::kSmall, 8, 64.0, 3, 7);
+  for (const auto& bu : layout.bus) {
+    EXPECT_NEAR(bu.cost, 1.0, 0.12);  // sigma = 0.02
+  }
+}
+
+TEST(Puma, SameSeedSameLayoutAndSkew) {
+  const auto a = make_layout(benchmark("WC"), InputScale::kSmall, 8, 64.0,
+                             3, 123);
+  const auto b = make_layout(benchmark("WC"), InputScale::kSmall, 8, 64.0,
+                             3, 123);
+  ASSERT_EQ(a.bus.size(), b.bus.size());
+  for (std::size_t i = 0; i < a.bus.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bus[i].cost, b.bus[i].cost);
+  }
+}
+
+TEST(SchedulerFactory, AllKindsConstructAndAreNamed) {
+  for (const auto kind :
+       {SchedulerKind::kHadoop, SchedulerKind::kHadoopNoSpec,
+        SchedulerKind::kSkewTune, SchedulerKind::kFlexMap,
+        SchedulerKind::kFlexMapNoVertical,
+        SchedulerKind::kFlexMapNoHorizontal,
+        SchedulerKind::kFlexMapNoReduceBias}) {
+    const auto scheduler = make_scheduler(kind);
+    EXPECT_FALSE(scheduler->name().empty());
+    EXPECT_FALSE(scheduler_label(kind).empty());
+  }
+}
+
+}  // namespace
+}  // namespace flexmr::workloads
