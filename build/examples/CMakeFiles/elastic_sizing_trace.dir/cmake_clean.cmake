@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_sizing_trace.dir/elastic_sizing_trace.cpp.o"
+  "CMakeFiles/elastic_sizing_trace.dir/elastic_sizing_trace.cpp.o.d"
+  "elastic_sizing_trace"
+  "elastic_sizing_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_sizing_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

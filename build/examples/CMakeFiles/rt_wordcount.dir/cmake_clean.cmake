@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_wordcount.dir/rt_wordcount.cpp.o"
+  "CMakeFiles/rt_wordcount.dir/rt_wordcount.cpp.o.d"
+  "rt_wordcount"
+  "rt_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/flexmr_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/flexmr_cluster.dir/interference.cpp.o"
+  "CMakeFiles/flexmr_cluster.dir/interference.cpp.o.d"
+  "CMakeFiles/flexmr_cluster.dir/presets.cpp.o"
+  "CMakeFiles/flexmr_cluster.dir/presets.cpp.o.d"
+  "libflexmr_cluster.a"
+  "libflexmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexmr_cluster.a"
+)

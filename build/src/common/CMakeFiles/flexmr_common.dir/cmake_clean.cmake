@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_common.dir/config.cpp.o"
+  "CMakeFiles/flexmr_common.dir/config.cpp.o.d"
+  "CMakeFiles/flexmr_common.dir/logging.cpp.o"
+  "CMakeFiles/flexmr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/flexmr_common.dir/stats.cpp.o"
+  "CMakeFiles/flexmr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/flexmr_common.dir/table.cpp.o"
+  "CMakeFiles/flexmr_common.dir/table.cpp.o.d"
+  "CMakeFiles/flexmr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/flexmr_common.dir/thread_pool.cpp.o.d"
+  "libflexmr_common.a"
+  "libflexmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flexmap/flexmap_scheduler.cpp" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/flexmap_scheduler.cpp.o" "gcc" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/flexmap_scheduler.cpp.o.d"
+  "/root/repo/src/flexmap/sizing.cpp" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/sizing.cpp.o" "gcc" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/sizing.cpp.o.d"
+  "/root/repo/src/flexmap/speed_monitor.cpp" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/speed_monitor.cpp.o" "gcc" "src/flexmap/CMakeFiles/flexmr_flexmap.dir/speed_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mr/CMakeFiles/flexmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/flexmr_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/flexmr_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/flexmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flexmr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

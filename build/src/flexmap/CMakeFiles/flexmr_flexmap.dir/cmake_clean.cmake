@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_flexmap.dir/flexmap_scheduler.cpp.o"
+  "CMakeFiles/flexmr_flexmap.dir/flexmap_scheduler.cpp.o.d"
+  "CMakeFiles/flexmr_flexmap.dir/sizing.cpp.o"
+  "CMakeFiles/flexmr_flexmap.dir/sizing.cpp.o.d"
+  "CMakeFiles/flexmr_flexmap.dir/speed_monitor.cpp.o"
+  "CMakeFiles/flexmr_flexmap.dir/speed_monitor.cpp.o.d"
+  "libflexmr_flexmap.a"
+  "libflexmr_flexmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_flexmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_hdfs.dir/block_index.cpp.o"
+  "CMakeFiles/flexmr_hdfs.dir/block_index.cpp.o.d"
+  "CMakeFiles/flexmr_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/flexmr_hdfs.dir/namenode.cpp.o.d"
+  "libflexmr_hdfs.a"
+  "libflexmr_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/analysis.cpp" "src/mr/CMakeFiles/flexmr_mr.dir/analysis.cpp.o" "gcc" "src/mr/CMakeFiles/flexmr_mr.dir/analysis.cpp.o.d"
+  "/root/repo/src/mr/driver.cpp" "src/mr/CMakeFiles/flexmr_mr.dir/driver.cpp.o" "gcc" "src/mr/CMakeFiles/flexmr_mr.dir/driver.cpp.o.d"
+  "/root/repo/src/mr/metrics.cpp" "src/mr/CMakeFiles/flexmr_mr.dir/metrics.cpp.o" "gcc" "src/mr/CMakeFiles/flexmr_mr.dir/metrics.cpp.o.d"
+  "/root/repo/src/mr/multi_job.cpp" "src/mr/CMakeFiles/flexmr_mr.dir/multi_job.cpp.o" "gcc" "src/mr/CMakeFiles/flexmr_mr.dir/multi_job.cpp.o.d"
+  "/root/repo/src/mr/trace.cpp" "src/mr/CMakeFiles/flexmr_mr.dir/trace.cpp.o" "gcc" "src/mr/CMakeFiles/flexmr_mr.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flexmr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/flexmr_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/flexmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/flexmr_yarn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_mr.dir/analysis.cpp.o"
+  "CMakeFiles/flexmr_mr.dir/analysis.cpp.o.d"
+  "CMakeFiles/flexmr_mr.dir/driver.cpp.o"
+  "CMakeFiles/flexmr_mr.dir/driver.cpp.o.d"
+  "CMakeFiles/flexmr_mr.dir/metrics.cpp.o"
+  "CMakeFiles/flexmr_mr.dir/metrics.cpp.o.d"
+  "CMakeFiles/flexmr_mr.dir/multi_job.cpp.o"
+  "CMakeFiles/flexmr_mr.dir/multi_job.cpp.o.d"
+  "CMakeFiles/flexmr_mr.dir/trace.cpp.o"
+  "CMakeFiles/flexmr_mr.dir/trace.cpp.o.d"
+  "libflexmr_mr.a"
+  "libflexmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

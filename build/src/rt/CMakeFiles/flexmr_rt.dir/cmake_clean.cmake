@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_rt.dir/dataset.cpp.o"
+  "CMakeFiles/flexmr_rt.dir/dataset.cpp.o.d"
+  "CMakeFiles/flexmr_rt.dir/engine.cpp.o"
+  "CMakeFiles/flexmr_rt.dir/engine.cpp.o.d"
+  "libflexmr_rt.a"
+  "libflexmr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

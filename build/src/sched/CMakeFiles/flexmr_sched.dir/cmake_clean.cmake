@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_sched.dir/skewtune.cpp.o"
+  "CMakeFiles/flexmr_sched.dir/skewtune.cpp.o.d"
+  "CMakeFiles/flexmr_sched.dir/stock.cpp.o"
+  "CMakeFiles/flexmr_sched.dir/stock.cpp.o.d"
+  "libflexmr_sched.a"
+  "libflexmr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/flexmr_simcore.dir/simulator.cpp.o.d"
+  "libflexmr_simcore.a"
+  "libflexmr_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_workloads.dir/experiment.cpp.o"
+  "CMakeFiles/flexmr_workloads.dir/experiment.cpp.o.d"
+  "CMakeFiles/flexmr_workloads.dir/puma.cpp.o"
+  "CMakeFiles/flexmr_workloads.dir/puma.cpp.o.d"
+  "libflexmr_workloads.a"
+  "libflexmr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmr_yarn.dir/resource_manager.cpp.o"
+  "CMakeFiles/flexmr_yarn.dir/resource_manager.cpp.o.d"
+  "libflexmr_yarn.a"
+  "libflexmr_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmr_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

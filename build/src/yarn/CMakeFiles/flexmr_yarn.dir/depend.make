@@ -1,0 +1,2 @@
+# Empty dependencies file for flexmr_yarn.
+# This may be replaced when dependencies are built.

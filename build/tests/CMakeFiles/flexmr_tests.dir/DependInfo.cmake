@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_common_misc.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_common_misc.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_common_misc.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_driver_integration.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_driver_integration.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_driver_integration.cpp.o.d"
+  "/root/repo/tests/test_driver_params.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_driver_params.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_driver_params.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failures.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_failures.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_failures.cpp.o.d"
+  "/root/repo/tests/test_hdfs.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_hdfs.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_hdfs.cpp.o.d"
+  "/root/repo/tests/test_ltb.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_ltb.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_ltb.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_multi_job.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_multi_job.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_multi_job.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rate_integrator.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_rate_integrator.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_rate_integrator.cpp.o.d"
+  "/root/repo/tests/test_resource_manager.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_resource_manager.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_resource_manager.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rt.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_rt.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_rt.cpp.o.d"
+  "/root/repo/tests/test_schedulers.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_schedulers.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sizing.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_sizing.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_sizing.cpp.o.d"
+  "/root/repo/tests/test_speed_monitor.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_speed_monitor.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_speed_monitor.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/flexmr_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/flexmr_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/flexmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/flexmr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/flexmr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/flexmap/CMakeFiles/flexmr_flexmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/flexmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/flexmr_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/flexmr_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/flexmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flexmr_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
