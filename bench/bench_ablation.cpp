@@ -16,7 +16,8 @@ namespace {
 
 void mechanism_ablation(const char* title,
                         const std::function<cluster::Cluster()>& make,
-                        const char* code) {
+                        const char* code, BenchArtifact& artifact,
+                        const std::string& prefix) {
   print_header(title, "each mechanism contributes; full FlexMap is best "
                       "or tied on map-heavy workloads");
   const std::vector<SweepPoint> points = {
@@ -30,10 +31,12 @@ void mechanism_ablation(const char* title,
        "no reduce bias"},
   };
   const auto seeds = default_seeds(5);
+  artifact.record_seeds(seeds);
   TextTable table({"Variant", "JCT (s)", "vs Hadoop", "Efficiency",
                    "Productivity"});
   const auto results = sweep(make, workloads::benchmark(code),
                              workloads::InputScale::kSmall, points, seeds);
+  artifact.add_sweep(prefix, results);
   const double base = results[0].jct.mean();
   for (const auto& r : results) {
     table.add_row({r.label, TextTable::num(r.jct.mean(), 1),
@@ -45,10 +48,11 @@ void mechanism_ablation(const char* title,
   std::printf("%s\n", table.str().c_str());
 }
 
-void bu_granularity() {
+void bu_granularity(BenchArtifact& artifact) {
   print_header("Ablation: block-unit granularity (paper fixes BU = 8 MB)",
                "too-small BUs inflate the ramp; too-large BUs coarsen "
                "load balancing");
+  artifact.record_seeds(default_seeds(5));
   TextTable table({"BU size (MB)", "JCT (s)", "Efficiency"});
   for (const MiB bu : {4.0, 8.0, 16.0, 32.0}) {
     OnlineStats jct;
@@ -79,17 +83,22 @@ void bu_granularity() {
     }
     table.add_row({TextTable::num(bu, 0), TextTable::num(jct.mean(), 1),
                    TextTable::num(eff.mean())});
+    const std::string series =
+        "bu/" + std::to_string(static_cast<int>(bu)) + "MB";
+    artifact.add_metric(series, "jct", jct);
+    artifact.add_metric(series, "efficiency", eff);
   }
   std::printf("%s\n", table.str().c_str());
 }
 
-void oracle_gap() {
+void oracle_gap(BenchArtifact& artifact) {
   print_header("Ablation: FlexMap vs a perfect-knowledge oracle",
                "the Oracle-FlexMap gap is the cost of *estimating* speeds "
                "via Eq. 3; Oracle-Hadoop is the full value of elasticity");
   TextTable table({"System", "physical JCT (s)", "virtual JCT (s)"});
   std::vector<double> physical(3, 0), virt(3, 0);
   const auto seeds = default_seeds(5);
+  artifact.record_seeds(seeds);
   for (int env = 0; env < 2; ++env) {
     auto& column = env == 0 ? physical : virt;
     OnlineStats hadoop, flexmap, oracle;
@@ -127,11 +136,16 @@ void oracle_gap() {
   for (int row = 0; row < 3; ++row) {
     table.add_row({names[row], TextTable::num(physical[static_cast<size_t>(row)], 1),
                    TextTable::num(virt[static_cast<size_t>(row)], 1)});
+    const std::string series = std::string("oracle/") + names[row];
+    artifact.add_metric(series, "physical_jct",
+                        physical[static_cast<size_t>(row)]);
+    artifact.add_metric(series, "virtual_jct",
+                        virt[static_cast<size_t>(row)]);
   }
   std::printf("%s\n", table.str().c_str());
 }
 
-void warm_start_iterations() {
+void warm_start_iterations(BenchArtifact& artifact) {
   print_header("Ablation: warm-started iterative jobs (k-means, 4 iters)",
                "warm start skips the sizing ramp from iteration 2 on");
   TextTable table({"Iteration", "cold JCT (s)", "cold maps",
@@ -156,6 +170,15 @@ void warm_start_iterations() {
                    std::to_string(cold_runs[i].map_tasks_launched()),
                    TextTable::num(warm_runs[i].jct(), 1),
                    std::to_string(warm_runs[i].map_tasks_launched())});
+    const std::string series = "warm-start/iter" + std::to_string(i + 1);
+    artifact.add_metric(series, "cold_jct", cold_runs[i].jct());
+    artifact.add_metric(series, "warm_jct", warm_runs[i].jct());
+    artifact.add_metric(
+        series, "cold_maps",
+        static_cast<double>(cold_runs[i].map_tasks_launched()));
+    artifact.add_metric(
+        series, "warm_maps",
+        static_cast<double>(warm_runs[i].map_tasks_launched()));
   }
   std::printf("%s\n", table.str().c_str());
 }
@@ -165,15 +188,21 @@ void warm_start_iterations() {
 
 int main() {
   using namespace flexmr;
+  bench::BenchArtifact artifact(
+      "ablation", "Mechanism ablation, BU granularity, oracle gap, "
+                  "warm start");
   bench::mechanism_ablation(
       "Ablation (physical cluster, wordcount): FlexMap mechanisms",
-      []() { return cluster::presets::physical12(); }, "WC");
+      []() { return cluster::presets::physical12(); }, "WC", artifact,
+      "mechanism/physical-WC");
   bench::mechanism_ablation(
       "Ablation (virtual cluster, tera-sort): reduce bias matters most "
       "for reduce-heavy jobs",
-      []() { return cluster::presets::virtual20(); }, "TS");
-  bench::bu_granularity();
-  bench::oracle_gap();
-  bench::warm_start_iterations();
+      []() { return cluster::presets::virtual20(); }, "TS", artifact,
+      "mechanism/virtual-TS");
+  bench::bu_granularity(artifact);
+  bench::oracle_gap(artifact);
+  bench::warm_start_iterations(artifact);
+  artifact.write();
   return 0;
 }

@@ -3,14 +3,21 @@
 // Every bench prints (a) what it reproduces, (b) the paper's qualitative
 // expectation, and (c) a TextTable of measured values, so the output can be
 // pasted into EXPERIMENTS.md and compared row by row.
+// Every bench also writes a machine-readable BENCH_<figure>.json artifact
+// (schema "flexmr.bench.v1") via BenchArtifact, so the numbers survive the
+// run and later PRs can diff them for regressions/speedups.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -95,5 +102,151 @@ inline std::vector<std::uint64_t> default_seeds(std::size_t n = 5) {
   for (std::size_t i = 0; i < n; ++i) seeds.push_back(1000 + 17 * i);
   return seeds;
 }
+
+/// Shared BENCH_<figure>.json emitter. One artifact per bench binary:
+/// named series, each holding named metric summaries (mean/stddev/min/max/
+/// count), plus the seeds used and the bench's wall-clock time. Figures
+/// with richer output (e.g. the Fig. 7 sizing trace) attach it verbatim
+/// under "extra".
+class BenchArtifact {
+ public:
+  BenchArtifact(std::string figure, std::string title)
+      : figure_(std::move(figure)),
+        title_(std::move(title)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Records the seeds a section ran with (duplicates collapse).
+  void record_seeds(const std::vector<std::uint64_t>& seeds) {
+    for (const auto seed : seeds) {
+      if (std::find(seeds_.begin(), seeds_.end(), seed) == seeds_.end()) {
+        seeds_.push_back(seed);
+      }
+    }
+  }
+
+  void add_metric(const std::string& series, const std::string& metric,
+                  const OnlineStats& stats) {
+    add(series, metric,
+        Summary{stats.mean(), stats.stddev(), stats.min(), stats.max(),
+                stats.count()});
+  }
+
+  void add_metric(const std::string& series, const std::string& metric,
+                  const SampleSet& samples) {
+    add(series, metric,
+        Summary{samples.mean(), samples.stddev(), samples.min(),
+                samples.max(), samples.count()});
+  }
+
+  /// Single measured value (count 1, stddev 0).
+  void add_metric(const std::string& series, const std::string& metric,
+                  double value) {
+    add(series, metric, Summary{value, 0.0, value, value, 1});
+  }
+
+  /// The standard sweep triple: one series per result labeled
+  /// "<prefix>/<label>" with jct, efficiency and productivity summaries.
+  void add_sweep(const std::string& prefix,
+                 const std::vector<SweepResult>& results) {
+    for (const auto& result : results) {
+      const std::string series = prefix + "/" + result.label;
+      add_metric(series, "jct", result.jct);
+      add_metric(series, "efficiency", result.efficiency);
+      add_metric(series, "productivity", result.productivity);
+    }
+  }
+
+  /// Attaches a pre-serialized JSON document under "extra"."<key>".
+  void attach(const std::string& key, std::string raw_json) {
+    extra_.emplace_back(key, std::move(raw_json));
+  }
+
+  std::string json() const {
+    const double wall_clock_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    JsonWriter writer;
+    writer.begin_object();
+    writer.field("schema", "flexmr.bench.v1");
+    writer.field("figure", figure_);
+    writer.field("title", title_);
+    writer.field("wall_clock_s", wall_clock_s);
+    writer.key("seeds").begin_array();
+    for (const auto seed : seeds_) writer.value(seed);
+    writer.end_array();
+    writer.key("series").begin_array();
+    for (const auto& series : series_) {
+      writer.begin_object();
+      writer.field("label", series.label);
+      writer.key("metrics").begin_object();
+      for (const auto& [name, summary] : series.metrics) {
+        writer.key(name).begin_object();
+        writer.field("mean", summary.mean);
+        writer.field("stddev", summary.stddev);
+        writer.field("min", summary.min);
+        writer.field("max", summary.max);
+        writer.field("count", static_cast<std::uint64_t>(summary.count));
+        writer.end_object();
+      }
+      writer.end_object();
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("extra").begin_object();
+    for (const auto& [key, raw] : extra_) {
+      writer.key(key).raw(raw);
+    }
+    writer.end_object();
+    writer.end_object();
+    return writer.str();
+  }
+
+  /// Writes BENCH_<figure>.json into the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + figure_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return;
+    }
+    const std::string doc = json();
+    std::fwrite(doc.data(), 1, doc.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %s (%zu series)\n", path.c_str(), series_.size());
+  }
+
+ private:
+  struct Summary {
+    double mean = 0;
+    double stddev = 0;
+    double min = 0;
+    double max = 0;
+    std::size_t count = 0;
+  };
+  struct Series {
+    std::string label;
+    std::vector<std::pair<std::string, Summary>> metrics;
+  };
+
+  void add(const std::string& series, const std::string& metric,
+           Summary summary) {
+    for (auto& existing : series_) {
+      if (existing.label == series) {
+        existing.metrics.emplace_back(metric, summary);
+        return;
+      }
+    }
+    series_.push_back(Series{series, {{metric, summary}}});
+  }
+
+  std::string figure_;
+  std::string title_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<Series> series_;
+  std::vector<std::pair<std::string, std::string>> extra_;
+};
 
 }  // namespace flexmr::bench

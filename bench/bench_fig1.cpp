@@ -48,8 +48,10 @@ void print_table_i() {
 
 void runtime_distribution(const char* title,
                           const std::function<cluster::Cluster()>& make,
-                          const char* claim) {
+                          const char* claim, BenchArtifact& artifact,
+                          const std::string& series) {
   print_header(title, claim);
+  artifact.record_seeds(default_seeds(3));
   SampleSet runtimes;
   for (const auto seed : default_seeds(3)) {
     auto cluster = make();
@@ -70,6 +72,8 @@ void runtime_distribution(const char* title,
   Histogram hist(0.0, runtimes.max() * 1.01, 20);
   for (const double r : runtimes.samples()) hist.add(r);
   std::printf("%s\n", hist.ascii().c_str());
+  artifact.add_metric(series, "map_runtime", runtimes);
+  artifact.add_metric(series, "map_runtime_p99", runtimes.quantile(0.99));
 }
 
 // §II-B: "performance heterogeneity still incurred more than 50% of
@@ -78,7 +82,7 @@ void runtime_distribution(const char* title,
 // The striking part of the claim is the *baseline*: stock Hadoop on a
 // cluster where every node is an OptiPlex beats the mixed cluster per
 // unit of capacity — heterogeneity wastes the fast machines.
-void heterogeneity_tax() {
+void heterogeneity_tax(BenchArtifact& artifact) {
   print_header(
       "§II-B: heterogeneity tax — mixed cluster vs capacity math",
       "stock Hadoop extracts far less than the mixed cluster's capacity "
@@ -109,6 +113,7 @@ void heterogeneity_tax() {
   OnlineStats slow_jct;
   OnlineStats mixed_hadoop;
   OnlineStats mixed_flexmap;
+  artifact.record_seeds(default_seeds());
   for (const auto seed : default_seeds()) {
     workloads::RunConfig config;
     config.params.seed = seed;
@@ -144,6 +149,10 @@ void heterogeneity_tax() {
                      "x",
                  TextTable::num(capacity_ratio, 2) + "x"});
   std::printf("%s\n", table.str().c_str());
+  artifact.add_metric("tax/all-slow-hadoop", "jct", slow_jct);
+  artifact.add_metric("tax/mixed-hadoop", "jct", mixed_hadoop);
+  artifact.add_metric("tax/mixed-flexmap", "jct", mixed_flexmap);
+  artifact.add_metric("tax/capacity-ratio", "ratio", capacity_ratio);
 }
 
 }  // namespace
@@ -151,15 +160,20 @@ void heterogeneity_tax() {
 
 int main() {
   using namespace flexmr;
+  bench::BenchArtifact artifact(
+      "fig1", "Stock-Hadoop map runtime distributions + heterogeneity tax");
   bench::print_table_i();
   bench::runtime_distribution(
       "Fig. 1(a): wordcount map runtimes, 12-node physical cluster",
       []() { return cluster::presets::physical12(); },
-      "slowest map runs ~2x+ the fastest; spread driven by machine class");
+      "slowest map runs ~2x+ the fastest; spread driven by machine class",
+      artifact, "fig1a/physical");
   bench::runtime_distribution(
       "Fig. 1(b): wordcount map runtimes, 20-node virtual cluster",
       []() { return cluster::presets::virtual20(); },
-      "~20% of tasks ~5x slower than the fastest — heavy tail");
-  bench::heterogeneity_tax();
+      "~20% of tasks ~5x slower than the fastest — heavy tail", artifact,
+      "fig1b/virtual");
+  bench::heterogeneity_tax(artifact);
+  artifact.write();
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace flexmr::bench {
 namespace {
 
-void run(workloads::SchedulerKind kind) {
+void run(workloads::SchedulerKind kind, BenchArtifact& artifact) {
   auto cluster = cluster::presets::tiny3();
   auto bench = workloads::benchmark("WC");
   bench.small_input = 1024.0;  // 16 blocks of 64 MB
@@ -50,6 +50,17 @@ void run(workloads::SchedulerKind kind) {
               workloads::scheduler_label(kind).c_str(),
               result.map_phase_runtime(), result.efficiency(),
               table.str().c_str());
+
+  const std::string series = workloads::scheduler_label(kind);
+  artifact.record_seeds({config.params.seed});
+  artifact.add_metric(series, "jct", result.jct());
+  artifact.add_metric(series, "map_phase_runtime",
+                      result.map_phase_runtime());
+  artifact.add_metric(series, "efficiency", result.efficiency());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    artifact.add_metric(series, "node" + std::to_string(n) + "_share",
+                        processed[n] / bench.small_input);
+  }
 }
 
 }  // namespace
@@ -62,7 +73,10 @@ int main() {
       "3 nodes with capacity 1:1:3, replication 3",
       "stock Hadoop cannot give the fast node its 60% capacity share of "
       "the data; FlexMap matches processed data to capacity");
-  bench::run(workloads::SchedulerKind::kHadoopNoSpec);
-  bench::run(workloads::SchedulerKind::kFlexMap);
+  bench::BenchArtifact artifact(
+      "fig2", "Uniform-size static binding vs elastic tasks, tiny3 cluster");
+  bench::run(workloads::SchedulerKind::kHadoopNoSpec, artifact);
+  bench::run(workloads::SchedulerKind::kFlexMap, artifact);
+  artifact.write();
   return 0;
 }

@@ -17,10 +17,11 @@ namespace {
 
 const std::vector<MiB> kSizes = {8, 16, 32, 64, 128, 256};
 
-void part_a() {
+void part_a(BenchArtifact& artifact) {
   print_header("Fig. 3(a): PDF of normalized map runtime, virtual cluster",
                "8 MB tasks cluster tightly (~0.3-0.5 of max); 64 MB tasks "
                "spread with a heavy tail");
+  artifact.record_seeds(default_seeds(3));
   for (const MiB block : {8.0, 64.0}) {
     SampleSet runtimes;
     for (const auto seed : default_seeds(3)) {
@@ -41,12 +42,18 @@ void part_a() {
     for (const double r : runtimes.samples()) hist.add(r);
     std::printf("block=%.0f MB  (n=%zu, cv=%.2f)\n%s\n", block,
                 runtimes.count(), runtimes.cv(), hist.ascii(40).c_str());
+    const std::string series =
+        "pdf/" + std::to_string(static_cast<int>(block)) + "MB";
+    artifact.add_metric(series, "normalized_map_runtime", runtimes);
+    artifact.add_metric(series, "cv", runtimes.cv());
   }
 }
 
 void size_sweep(const char* title, const char* claim,
-                const std::function<cluster::Cluster()>& make) {
+                const std::function<cluster::Cluster()>& make,
+                BenchArtifact& artifact, const std::string& prefix) {
   print_header(title, claim);
+  artifact.record_seeds(default_seeds(5));
   TextTable table({"Task size (MB)", "JCT (s)", "Map phase (s)",
                    "Productivity", "Efficiency"});
   for (const MiB block : kSizes) {
@@ -73,6 +80,12 @@ void size_sweep(const char* title, const char* claim,
                    TextTable::num(phase.mean(), 1),
                    TextTable::num(productivity.mean(), 3),
                    TextTable::num(efficiency.mean(), 3)});
+    const std::string series =
+        prefix + "/" + std::to_string(static_cast<int>(block)) + "MB";
+    artifact.add_metric(series, "jct", jct);
+    artifact.add_metric(series, "map_phase_runtime", phase);
+    artifact.add_metric(series, "productivity", productivity);
+    artifact.add_metric(series, "efficiency", efficiency);
   }
   std::printf("%s\n", table.str().c_str());
 }
@@ -82,16 +95,20 @@ void size_sweep(const char* title, const char* claim,
 
 int main() {
   using namespace flexmr;
-  bench::part_a();
+  bench::BenchArtifact artifact(
+      "fig3", "Implications of fixed map task size: runtime PDF + sweeps");
+  bench::part_a(artifact);
   bench::size_sweep(
       "Fig. 3(b,c): JCT & productivity vs task size, 6-node homogeneous",
       "productivity ~0.28 at 8 MB rising toward 1; JCT monotonically "
       "improves with size (no heterogeneity to punish big tasks)",
-      []() { return cluster::presets::homogeneous6(); });
+      []() { return cluster::presets::homogeneous6(); }, artifact, "homog");
   bench::size_sweep(
       "Fig. 3(d): JCT & efficiency vs task size, 6-node heterogeneous",
       "U-shaped JCT: overhead dominates small sizes, load imbalance "
       "dominates large sizes; efficiency falls as size grows",
-      []() { return cluster::presets::heterogeneous6(); });
+      []() { return cluster::presets::heterogeneous6(); }, artifact,
+      "heterog");
+  artifact.write();
   return 0;
 }

@@ -28,7 +28,8 @@ void print_table_ii() {
 }
 
 void run_cluster(const char* title,
-                 const std::function<cluster::Cluster()>& make_cluster) {
+                 const std::function<cluster::Cluster()>& make_cluster,
+                 BenchArtifact& artifact, const std::string& prefix) {
   print_header(title,
                "FlexMap beats stock Hadoop by up to ~40-50% on map-heavy "
                "jobs (WC/GR/HR/HM); SkewTune lands between; little or no "
@@ -37,9 +38,11 @@ void run_cluster(const char* title,
                    "FlexMap", "FlexMap vs H-64m"});
   const auto points = paper_comparison_points();
   const auto seeds = default_seeds();
+  artifact.record_seeds(seeds);
   for (const auto& bench : workloads::puma_suite()) {
     const auto results = sweep(make_cluster, bench,
                                workloads::InputScale::kSmall, points, seeds);
+    artifact.add_sweep(prefix + "/" + bench.code, results);
     const double base = results[1].jct.mean();  // Hadoop-64m
     table.add_row({bench.code, TextTable::num(results[0].jct.mean() / base),
                    TextTable::num(1.0),
@@ -57,10 +60,15 @@ void run_cluster(const char* title,
 
 int main() {
   using namespace flexmr;
+  bench::BenchArtifact artifact(
+      "fig5", "Normalized JCT, PUMA suite, physical + virtual clusters");
   bench::print_table_ii();
   bench::run_cluster("Fig. 5(a): normalized JCT, 12-node physical cluster",
-                     []() { return cluster::presets::physical12(); });
+                     []() { return cluster::presets::physical12(); },
+                     artifact, "physical");
   bench::run_cluster("Fig. 5(b): normalized JCT, 20-node virtual cluster",
-                     []() { return cluster::presets::virtual20(); });
+                     []() { return cluster::presets::virtual20(); },
+                     artifact, "virtual");
+  artifact.write();
   return 0;
 }

@@ -14,7 +14,8 @@ namespace flexmr::bench {
 namespace {
 
 void run_cluster(const char* title,
-                 const std::function<cluster::Cluster()>& make_cluster) {
+                 const std::function<cluster::Cluster()>& make_cluster,
+                 BenchArtifact& artifact, const std::string& prefix) {
   print_header(title,
                "FlexMap has the highest map-phase efficiency on map-heavy "
                "benchmarks; stock Hadoop drops well below 1 under "
@@ -23,9 +24,11 @@ void run_cluster(const char* title,
                    "FlexMap"});
   const auto points = paper_comparison_points();
   const auto seeds = default_seeds();
+  artifact.record_seeds(seeds);
   for (const auto& bench : workloads::puma_suite()) {
     const auto results = sweep(make_cluster, bench,
                                workloads::InputScale::kSmall, points, seeds);
+    artifact.add_sweep(prefix + "/" + bench.code, results);
     table.add_row({bench.code,
                    TextTable::num(results[0].efficiency.mean()),
                    TextTable::num(results[1].efficiency.mean()),
@@ -40,9 +43,14 @@ void run_cluster(const char* title,
 
 int main() {
   using namespace flexmr;
+  bench::BenchArtifact artifact(
+      "fig6", "Job efficiency (Eq. 2), PUMA suite, both clusters");
   bench::run_cluster("Fig. 6(a): job efficiency, 12-node physical cluster",
-                     []() { return cluster::presets::physical12(); });
+                     []() { return cluster::presets::physical12(); },
+                     artifact, "physical");
   bench::run_cluster("Fig. 6(b): job efficiency, 20-node virtual cluster",
-                     []() { return cluster::presets::virtual20(); });
+                     []() { return cluster::presets::virtual20(); },
+                     artifact, "virtual");
+  artifact.write();
   return 0;
 }

@@ -10,13 +10,15 @@
 
 #include "bench/bench_common.hpp"
 #include "cluster/presets.hpp"
+#include "flexmap/export.hpp"
 #include "flexmap/flexmap_scheduler.hpp"
 
 namespace flexmr::bench {
 namespace {
 
 void trace_cluster(const char* title, cluster::Cluster cluster,
-                   const char* claim) {
+                   const char* claim, BenchArtifact& artifact,
+                   const std::string& series) {
   print_header(title, claim);
 
   flexmap::FlexMapOptions options;
@@ -67,6 +69,17 @@ void trace_cluster(const char* title, cluster::Cluster cluster,
               "(%u MB); JCT %.1fs, efficiency %.2f\n\n",
               fast_peak, fast_peak * 8, slow_peak, slow_peak * 8,
               result.jct(), result.efficiency());
+
+  artifact.record_seeds({config.params.seed});
+  artifact.add_metric(series, "jct", result.jct());
+  artifact.add_metric(series, "efficiency", result.efficiency());
+  artifact.add_metric(series, "fast_peak_bus",
+                      static_cast<double>(fast_peak));
+  artifact.add_metric(series, "slow_peak_bus",
+                      static_cast<double>(slow_peak));
+  // The full sizing/speed trace (schema flexmr.flexmap_trace.v1) rides
+  // along under "extra" so plots can be regenerated without re-running.
+  artifact.attach(series, flexmap::flexmap_trace_json(scheduler));
 }
 
 }  // namespace
@@ -74,15 +87,18 @@ void trace_cluster(const char* title, cluster::Cluster cluster,
 
 int main() {
   using namespace flexmr;
+  bench::BenchArtifact artifact(
+      "fig7", "FlexMap task size & productivity evolution over map phase");
   bench::trace_cluster(
       "Fig. 7(a,b): task size & productivity vs map progress, physical",
       cluster::presets::physical12(),
       "fast node grows to tens of BUs at high productivity; slow node "
-      "stays below ~8 BUs and low productivity");
+      "stays below ~8 BUs and low productivity", artifact, "physical");
   bench::trace_cluster(
       "Fig. 7(c,d): task size & productivity vs map progress, virtual",
       cluster::presets::virtual20(),
       "discrepancy is larger: slow node ends at ~2 BUs, fast node far "
-      "above it");
+      "above it", artifact, "virtual");
+  artifact.write();
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace flexmr::bench {
 namespace {
 
-void run_fraction(double fraction) {
+void run_fraction(double fraction, BenchArtifact& artifact) {
   std::printf("Fig. 8: slow-node fraction %.0f%%\n", fraction * 100);
   TextTable table({"Benchmark", "Hadoop+spec", "NoSpec", "SkewTune",
                    "FlexMap", "FlexMap vs Hadoop"});
@@ -25,12 +25,16 @@ void run_fraction(double fraction) {
       {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB, "FlexMap"},
   };
   const auto seeds = default_seeds(3);
+  artifact.record_seeds(seeds);
+  const std::string prefix =
+      std::to_string(static_cast<int>(fraction * 100)) + "%";
   auto make_cluster = [fraction]() {
     return cluster::presets::multitenant40(fraction);
   };
   for (const auto& bench : workloads::puma_suite()) {
     const auto results = sweep(make_cluster, bench,
                                workloads::InputScale::kLarge, points, seeds);
+    artifact.add_sweep(prefix + "/" + bench.code, results);
     const double base = results[0].jct.mean();  // Hadoop with speculation
     table.add_row(
         {bench.code, TextTable::num(1.0),
@@ -52,8 +56,11 @@ int main() {
       "Fig. 8(a-d): 40-node multi-tenant cluster, large inputs",
       "FlexMap's gain over stock Hadoop grows with the slow-node "
       "fraction, up to ~40%; speculation and SkewTune converge to stock");
+  bench::BenchArtifact artifact(
+      "fig8", "Normalized JCT vs slow-node fraction, 40-node multi-tenant");
   for (const double fraction : {0.05, 0.10, 0.20, 0.40}) {
-    bench::run_fraction(fraction);
+    bench::run_fraction(fraction, artifact);
   }
+  artifact.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 // monitoring, and a whole end-to-end simulation as a macro number.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
 #include "cluster/presets.hpp"
 #include "flexmap/speed_monitor.hpp"
 #include "hdfs/block_index.hpp"
@@ -99,7 +100,40 @@ BENCHMARK(BM_FullSimulation)
     ->Arg(static_cast<int>(workloads::SchedulerKind::kFlexMap))
     ->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus every run captured into the shared
+// BENCH_micro.json artifact (adjusted real/CPU time per benchmark name).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(bench::BenchArtifact& artifact)
+      : artifact_(artifact) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      artifact_.add_metric(name, "real_time", run.GetAdjustedRealTime());
+      artifact_.add_metric(name, "cpu_time", run.GetAdjustedCPUTime());
+      artifact_.add_metric(name, "iterations",
+                           static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  bench::BenchArtifact& artifact_;
+};
+
 }  // namespace
 }  // namespace flexmr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  flexmr::bench::BenchArtifact artifact(
+      "micro", "google-benchmark microbenchmarks of simulator hot paths");
+  flexmr::ArtifactReporter reporter(artifact);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  artifact.write();
+  return 0;
+}

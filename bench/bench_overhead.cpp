@@ -16,9 +16,12 @@ int main() {
       "§IV-D Overhead: wordcount on a 6-node homogeneous cluster",
       "FlexMap's vertical-scaling ramp costs only ~5% vs stock Hadoop");
 
+  bench::BenchArtifact artifact(
+      "overhead", "Vertical-scaling overhead on a homogeneous cluster");
   TextTable table({"System", "JCT (s)", "vs Hadoop-64m", "Efficiency",
                    "Map tasks"});
   const auto seeds = bench::default_seeds(7);
+  artifact.record_seeds(seeds);
   double base = 0;
   for (const auto kind :
        {SchedulerKind::kHadoopNoSpec, SchedulerKind::kFlexMap}) {
@@ -42,7 +45,14 @@ int main() {
                    TextTable::num((jct.mean() / base - 1.0) * 100, 1) + "%",
                    TextTable::num(eff.mean()),
                    TextTable::num(tasks.mean(), 0)});
+    const std::string series = workloads::scheduler_label(kind);
+    artifact.add_metric(series, "jct", jct);
+    artifact.add_metric(series, "efficiency", eff);
+    artifact.add_metric(series, "map_tasks", tasks);
+    artifact.add_metric(series, "overhead_vs_base",
+                        jct.mean() / base - 1.0);
   }
   std::printf("%s\n", table.str().c_str());
+  artifact.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "cluster/presets.hpp"
 #include "common/table.hpp"
+#include "flexmap/export.hpp"
 #include "flexmap/flexmap_scheduler.hpp"
 #include "workloads/experiment.hpp"
 
@@ -70,5 +71,16 @@ int main() {
                    sizer.frozen(n) ? "yes" : "no"});
   }
   std::printf("%s", nodes.str().c_str());
+
+  // The same trace, machine-readable (schema flexmr.flexmap_trace.v1):
+  // sizing decisions, raw SpeedMonitor readings, final per-node state.
+  const std::string path = "elastic_sizing_trace.json";
+  if (std::FILE* file = std::fopen(path.c_str(), "w")) {
+    const std::string doc = flexmap::flexmap_trace_json(scheduler);
+    std::fwrite(doc.data(), 1, doc.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("\nfull trace written to %s\n", path.c_str());
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "cluster/cluster.hpp"
+#include "mr/result_json.hpp"
 #include "workloads/experiment.hpp"
 
 int main() {
@@ -47,6 +48,20 @@ int main() {
                 workloads::scheduler_label(kind).c_str(), result.jct(),
                 result.map_phase_runtime(), result.efficiency(),
                 result.map_tasks_launched());
+
+    // 4. Every run can be exported as JSON (schema flexmr.job_result.v1):
+    //    full task timeline, per-node utilization, derived metrics.
+    if (kind == workloads::SchedulerKind::kFlexMap) {
+      const std::string path = "quickstart_flexmap_result.json";
+      if (std::FILE* file = std::fopen(path.c_str(), "w")) {
+        const std::string doc = mr::job_result_json(result, cluster);
+        std::fwrite(doc.data(), 1, doc.size(), file);
+        std::fputc('\n', file);
+        std::fclose(file);
+        std::printf("               (full result written to %s)\n",
+                    path.c_str());
+      }
+    }
   }
   std::printf("\nFlexMap should show the lowest JCT and highest efficiency:"
               "\nelastic tasks give the fast servers proportionally more "

@@ -31,6 +31,8 @@ class Machine {
  public:
   /// Called with (node, new effective per-container IPS) on speed changes.
   using SpeedListener = std::function<void(NodeId, MiBps)>;
+  /// Handle returned by add_speed_listener, for targeted removal.
+  using SpeedListenerId = std::uint64_t;
 
   Machine(NodeId id, MachineSpec spec) : id_(id), spec_(std::move(spec)) {
     FLEXMR_ASSERT(spec_.base_ips > 0 && spec_.slots > 0);
@@ -49,20 +51,43 @@ class Machine {
     FLEXMR_ASSERT(m > 0.0 && m <= 1.0);
     if (m == multiplier_) return;
     multiplier_ = m;
-    for (const auto& listener : listeners_) listener(id_, effective_ips());
+    for (const auto& [id, listener] : listeners_) {
+      listener(id_, effective_ips());
+    }
   }
 
-  void add_speed_listener(SpeedListener listener) {
-    listeners_.push_back(std::move(listener));
+  /// Registers a listener and returns a handle the owner MUST use to
+  /// unregister before it is destroyed — machines routinely outlive the
+  /// drivers listening to them (sequential jobs on one cluster), and a
+  /// stale callback is a use-after-free.
+  SpeedListenerId add_speed_listener(SpeedListener listener) {
+    const SpeedListenerId id = next_listener_id_++;
+    listeners_.emplace_back(id, std::move(listener));
+    return id;
+  }
+
+  /// Removes one listener; safe to call after clear_speed_listeners
+  /// already dropped it (returns false then).
+  bool remove_speed_listener(SpeedListenerId id) {
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->first == id) {
+        listeners_.erase(it);
+        return true;
+      }
+    }
+    return false;
   }
 
   void clear_speed_listeners() { listeners_.clear(); }
+
+  std::size_t num_speed_listeners() const { return listeners_.size(); }
 
  private:
   NodeId id_;
   MachineSpec spec_;
   double multiplier_ = 1.0;
-  std::vector<SpeedListener> listeners_;
+  SpeedListenerId next_listener_id_ = 1;
+  std::vector<std::pair<SpeedListenerId, SpeedListener>> listeners_;
 };
 
 }  // namespace flexmr::cluster

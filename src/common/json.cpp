@@ -1,0 +1,157 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace flexmr {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    FLEXMR_ASSERT_MSG(!root_written_, "JSON document has a single root");
+    root_written_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    FLEXMR_ASSERT_MSG(key_pending_, "object values need a key first");
+    key_pending_ = false;
+    return;
+  }
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FLEXMR_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::kObject &&
+                        !key_pending_,
+                    "unbalanced end_object");
+  out_ += '}';
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FLEXMR_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                    "unbalanced end_array");
+  out_ += ']';
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  FLEXMR_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::kObject &&
+                        !key_pending_,
+                    "key() is only valid directly inside an object");
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  FLEXMR_ASSERT_MSG(!json.empty(), "raw JSON value must be non-empty");
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  FLEXMR_ASSERT_MSG(stack_.empty() && root_written_,
+                    "JSON document is incomplete");
+  return out_;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  FLEXMR_ASSERT(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+}  // namespace flexmr

@@ -1,0 +1,81 @@
+// Dependency-free JSON emission for result/trace/bench artifacts.
+//
+// JsonWriter is a streaming writer: begin/end object/array calls nest, keys
+// and values interleave, and commas are inserted automatically. Strings are
+// escaped per RFC 8259; doubles use the shortest round-trip representation
+// (std::to_chars) so output is byte-stable across runs and platforms, and
+// non-finite values — which JSON cannot represent — become null.
+//
+// Misuse (a value where a key is required, unbalanced end calls, reading an
+// incomplete document) trips FLEXMR_ASSERT rather than producing malformed
+// output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace flexmr {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null();
+
+  /// Inserts `json` verbatim as one value. The caller vouches that it is a
+  /// complete, valid JSON document (e.g. produced by another JsonWriter).
+  JsonWriter& raw(std::string_view json);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. Asserts that every scope has been closed and
+  /// exactly one root value was written.
+  const std::string& str() const;
+
+  /// RFC 8259 string escaping (quotes not included).
+  static std::string escape(std::string_view s);
+
+  /// Shortest round-trip decimal for `v`; "null" for NaN/Inf.
+  static std::string number(double v);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> scope_has_items_;
+  bool key_pending_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace flexmr

@@ -1,0 +1,58 @@
+#include "flexmap/export.hpp"
+
+namespace flexmr::flexmap {
+
+void write_flexmap_trace(JsonWriter& writer,
+                         const FlexMapScheduler& scheduler) {
+  writer.begin_object();
+  writer.field("schema", "flexmr.flexmap_trace.v1");
+
+  writer.key("sizing_trace").begin_array();
+  for (const auto& point : scheduler.sizing_trace()) {
+    writer.begin_object();
+    writer.field("node", point.node);
+    writer.field("phase_progress", point.phase_progress);
+    writer.field("size_bus", point.size_bus);
+    writer.field("size_mib", point.size_mib);
+    writer.field("productivity", point.productivity);
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.key("speed_trace").begin_array();
+  for (const auto& point : scheduler.speed_trace()) {
+    writer.begin_object();
+    writer.field("time", point.time);
+    writer.field("node", point.node);
+    writer.field("ips", point.ips);
+    writer.end_object();
+  }
+  writer.end_array();
+
+  const auto& monitor = scheduler.speed_monitor();
+  const auto& sizer = scheduler.sizer();
+  writer.key("nodes").begin_array();
+  for (NodeId node = 0; node < monitor.num_nodes(); ++node) {
+    writer.begin_object();
+    writer.field("node", node);
+    writer.field("size_unit_bus", sizer.size_unit(node));
+    writer.field("frozen", sizer.frozen(node));
+    if (const auto ips = monitor.get_speed(node)) {
+      writer.field("observed_ips", *ips);
+    } else {
+      writer.key("observed_ips").null();
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.end_object();
+}
+
+std::string flexmap_trace_json(const FlexMapScheduler& scheduler) {
+  JsonWriter writer;
+  write_flexmap_trace(writer, scheduler);
+  return writer.str();
+}
+
+}  // namespace flexmr::flexmap

@@ -1,0 +1,21 @@
+// FlexMap-specific observability export (schema "flexmr.flexmap_trace.v1"):
+// the Fig. 7 sizing trace (size-unit evolution per node), the per-heartbeat
+// SpeedMonitor readings, and each node's final sizing/speed state.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "flexmap/flexmap_scheduler.hpp"
+
+namespace flexmr::flexmap {
+
+/// Streams the scheduler's traces as a JSON object into `writer` (valid
+/// after the job it observed has run).
+void write_flexmap_trace(JsonWriter& writer,
+                         const FlexMapScheduler& scheduler);
+
+/// Standalone document form.
+std::string flexmap_trace_json(const FlexMapScheduler& scheduler);
+
+}  // namespace flexmr::flexmap

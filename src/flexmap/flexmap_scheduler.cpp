@@ -14,6 +14,7 @@ void FlexMapScheduler::on_job_start(mr::DriverContext& ctx) {
   binder_ = std::make_unique<LateTaskBinder>(ctx.index());
   task_epoch_.clear();
   trace_.clear();
+  speed_trace_.clear();
   reduce_quota_.clear();
   reduce_assigned_.clear();
 }
@@ -69,6 +70,7 @@ void FlexMapScheduler::on_map_complete(mr::DriverContext& ctx,
 void FlexMapScheduler::on_heartbeat(mr::DriverContext& ctx, NodeId node) {
   if (!ctx.node_alive(node)) return;
   if (const auto ips = ctx.observed_ips(node)) {
+    speed_trace_.push_back(SpeedTracePoint{ctx.now(), node, *ips});
     monitor_->update(node, *ips);
   }
 }

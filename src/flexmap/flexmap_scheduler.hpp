@@ -49,6 +49,15 @@ struct SizingTracePoint {
   double productivity = 0;
 };
 
+/// One SpeedMonitor reading: the Eq. 3 round-average IPS a node reported
+/// at a heartbeat. The sequence per node is the raw signal horizontal
+/// scaling acts on.
+struct SpeedTracePoint {
+  SimTime time = 0;
+  NodeId node = 0;
+  MiBps ips = 0;
+};
+
 class FlexMapScheduler final : public mr::Scheduler {
  public:
   explicit FlexMapScheduler(FlexMapOptions options = {})
@@ -80,6 +89,11 @@ class FlexMapScheduler final : public mr::Scheduler {
   const std::vector<SizingTracePoint>& sizing_trace() const {
     return trace_;
   }
+  /// Every (time, node, IPS) heartbeat reading fed to the SpeedMonitor
+  /// during the last job.
+  const std::vector<SpeedTracePoint>& speed_trace() const {
+    return speed_trace_;
+  }
 
  private:
   /// Node capacity (observed per-container IPS × containers) as a fraction
@@ -97,6 +111,7 @@ class FlexMapScheduler final : public mr::Scheduler {
   std::unique_ptr<LateTaskBinder> binder_;
   std::unordered_map<TaskId, std::uint32_t> task_epoch_;
   std::vector<SizingTracePoint> trace_;
+  std::vector<SpeedTracePoint> speed_trace_;
   /// Per-node reducer quotas (multinomial expectation of the paper's c²
   /// sampling), built lazily at reduce-phase start.
   std::vector<std::uint32_t> reduce_quota_;

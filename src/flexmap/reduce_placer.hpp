@@ -29,7 +29,8 @@ class BiasedReducePlacer {
   /// reducers dispatched onto faster nodes" with guaranteed progress.
   bool accept(double capacity) {
     FLEXMR_ASSERT(capacity >= 0.0 && capacity <= 1.0);
-    return rng_.uniform() <= capacity * capacity;
+    // Shared bernoulli convention (strict <): capacity 0 never accepts.
+    return rng_.bernoulli(capacity * capacity);
   }
 
  private:

@@ -11,15 +11,23 @@ bool DynamicSizer::on_task_complete(NodeId node, std::uint32_t task_epoch,
 
   ++state.epoch;  // one growth decision per wave
   if (productivity < options_.fast_limit) {
-    state.size_unit *= 2;  // fast scaling: jump past inefficient sizes
+    // Fast scaling: jump past inefficient sizes. Saturating: a node that
+    // stays unproductive forever (paper default max_unit_bus = 0 sets no
+    // bound) must not wrap the unit back to small sizes after 32 waves.
+    state.size_unit = state.size_unit <= kMaxSizeUnit / 2
+                          ? state.size_unit * 2
+                          : kMaxSizeUnit;
   } else if (productivity < options_.linear_limit) {
-    state.size_unit += 1;  // linear scaling: approach the knee gently
+    // Linear scaling: approach the knee gently (saturating as above).
+    if (state.size_unit < kMaxSizeUnit) state.size_unit += 1;
   } else {
     state.frozen = true;  // efficient enough; stop growing
     return false;
   }
-  if (options_.max_unit_bus > 0 && state.size_unit > options_.max_unit_bus) {
-    state.size_unit = options_.max_unit_bus;
+  const std::uint32_t bound =
+      options_.max_unit_bus > 0 ? options_.max_unit_bus : kMaxSizeUnit;
+  if (state.size_unit >= bound) {
+    state.size_unit = bound;
     state.frozen = true;
   }
   return true;

@@ -24,6 +24,11 @@
 
 namespace flexmr::flexmap {
 
+/// Hard saturation point for the size unit when max_unit_bus = 0
+/// (unbounded): 2^30 BUs = 8 PiB per task, far beyond any input, but small
+/// enough that doubling can never wrap the uint32. Growth freezes here.
+inline constexpr std::uint32_t kMaxSizeUnit = 1u << 30;
+
 struct SizingOptions {
   double fast_limit = 0.8;    ///< FAST_LIMIT (paper: 0.8).
   double linear_limit = 0.9;  ///< LINEAR_LIMIT (paper: 0.9).

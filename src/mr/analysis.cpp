@@ -6,13 +6,10 @@
 
 namespace flexmr::mr {
 
-std::vector<NodeUtilization> node_utilization(
-    const JobResult& result, const cluster::Cluster& cluster) {
-  std::vector<NodeUtilization> stats(cluster.num_nodes());
-  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
-    stats[n].node = n;
-    stats[n].slots = cluster.machine(n).slots();
-  }
+namespace {
+
+void accumulate_tasks(const JobResult& result,
+                      std::vector<NodeUtilization>& stats) {
   for (const auto& task : result.tasks) {
     auto& node = stats[task.node];
     if (task.status == TaskStatus::kKilled) {
@@ -26,6 +23,30 @@ std::vector<NodeUtilization> node_utilization(
       node.reduce_busy += task.total_runtime();
     }
   }
+}
+
+}  // namespace
+
+std::vector<NodeUtilization> node_utilization(
+    const JobResult& result, const cluster::Cluster& cluster) {
+  std::vector<NodeUtilization> stats(cluster.num_nodes());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    stats[n].node = n;
+    stats[n].slots = cluster.machine(n).slots();
+  }
+  accumulate_tasks(result, stats);
+  return stats;
+}
+
+std::vector<NodeUtilization> node_utilization(const JobResult& result) {
+  NodeId max_node = 0;
+  for (const auto& task : result.tasks) {
+    max_node = std::max(max_node, task.node);
+  }
+  std::vector<NodeUtilization> stats(result.tasks.empty() ? 0
+                                                          : max_node + 1);
+  for (NodeId n = 0; n < stats.size(); ++n) stats[n].node = n;
+  accumulate_tasks(result, stats);
   return stats;
 }
 

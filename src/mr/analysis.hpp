@@ -49,6 +49,11 @@ struct WaveStats {
 std::vector<NodeUtilization> node_utilization(
     const JobResult& result, const cluster::Cluster& cluster);
 
+/// Same accounting from task records alone (node count inferred, `slots`
+/// left 0 so utilization() is unavailable) — for exports that only have a
+/// JobResult in hand.
+std::vector<NodeUtilization> node_utilization(const JobResult& result);
+
 /// Map-phase tail decomposition.
 TailAnalysis analyze_tail(const JobResult& result);
 

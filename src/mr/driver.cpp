@@ -49,6 +49,12 @@ JobDriver::JobDriver(Simulator& sim, cluster::Cluster& cluster,
   FLEXMR_ASSERT_MSG(!layout.bus.empty(), "job has no input");
 }
 
+JobDriver::~JobDriver() {
+  for (NodeId node = 0; node < speed_listener_ids_.size(); ++node) {
+    cluster_->machine(node).remove_speed_listener(speed_listener_ids_[node]);
+  }
+}
+
 void JobDriver::start() {
   FLEXMR_ASSERT_MSG(!started_, "JobDriver is one-shot");
   started_ = true;
@@ -65,9 +71,10 @@ void JobDriver::start() {
     rm_.set_offer_handler(
         [this](NodeId node) { return handle_offer(node); });
   }
+  speed_listener_ids_.reserve(cluster_->num_nodes());
   for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
-    cluster_->machine(node).add_speed_listener(
-        [this](NodeId n, MiBps) { on_speed_change(n); });
+    speed_listener_ids_.push_back(cluster_->machine(node).add_speed_listener(
+        [this](NodeId n, MiBps) { on_speed_change(n); }));
   }
 
   scheduler_->on_job_start(*this);
@@ -521,6 +528,12 @@ void JobDriver::finish_job() {
   done_ = true;
   result_.finish_time = sim_->now();
   if (result_.map_phase_end == 0) result_.map_phase_end = sim_->now();
+  // Snapshot of the simulator's counters at completion. In shared-cluster
+  // mode the simulator is shared, so these span every co-running job.
+  const SimCounters counters = sim_->counters();
+  result_.sim_events_fired = counters.fired;
+  result_.sim_events_cancelled = counters.cancelled;
+  result_.sim_queue_peak = counters.queue_peak;
 }
 
 // ---------------------------------------------------------------------------
@@ -689,6 +702,9 @@ void JobDriver::fail_node(NodeId node) {
 }
 
 void JobDriver::on_speed_change(NodeId node) {
+  // The cluster keeps changing speeds after this job finished (shared
+  // simulations); a finished job has nothing left to re-rate.
+  if (done_) return;
   for (auto& task : map_tasks_) {
     if (task->node != node || task->phase != TaskPhase::kComputing) continue;
     task->integrator->set_rate(sim_->now(), map_rate(*task));

@@ -54,6 +54,11 @@ class JobDriver final : public DriverContext {
             const hdfs::FileLayout& layout, JobSpec job, SimParams params,
             Scheduler& scheduler, yarn::ResourceManager& shared_rm);
 
+  /// Unregisters this driver's machine speed listeners: the cluster may
+  /// outlive the driver (sequential jobs, a coordinator dropping a
+  /// finished job), and a stale [this] callback is a use-after-free.
+  ~JobDriver();
+
   /// Runs the job to completion and returns its metrics. One-shot.
   /// Only valid in the single-job form.
   JobResult run();
@@ -228,6 +233,9 @@ class JobDriver final : public DriverContext {
   bool reduce_force_dispatch_ = false;
   std::vector<std::size_t> reduce_requeue_;  ///< Reducers lost to failures.
   std::vector<std::pair<NodeId, SimTime>> planned_failures_;
+  /// Per-node speed-listener handles registered in start(), removed in the
+  /// destructor (node == index).
+  std::vector<cluster::Machine::SpeedListenerId> speed_listener_ids_;
   std::set<NodeId> failed_nodes_;  ///< Failures this driver has handled.
   std::size_t running_map_count_ = 0;
   bool map_phase_done_ = false;

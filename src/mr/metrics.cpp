@@ -2,6 +2,20 @@
 
 namespace flexmr::mr {
 
+const char* to_string(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
+const char* to_string(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kCompleted: return "completed";
+    case TaskStatus::kPartialCompleted: return "partial";
+    case TaskStatus::kKilled: return "killed";
+    case TaskStatus::kLostOutput: return "lost-output";
+  }
+  return "?";
+}
+
 SimDuration JobResult::map_serial_runtime() const {
   SimDuration total = 0;
   for (const auto& task : tasks) {

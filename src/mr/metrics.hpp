@@ -21,6 +21,9 @@ namespace flexmr::mr {
 
 enum class TaskKind { kMap, kReduce };
 
+/// Stable wire names ("map"/"reduce"), shared by the CSV and JSON exports.
+const char* to_string(TaskKind kind);
+
 enum class TaskStatus {
   kCompleted,         ///< Ran to the end of its input split.
   kPartialCompleted,  ///< Stopped early but its consumed prefix is kept
@@ -30,6 +33,9 @@ enum class TaskStatus {
   kLostOutput,        ///< Completed, but its host node failed before the
                       ///< output was consumed; the input re-executes.
 };
+
+/// Stable wire names ("completed"/"partial"/"killed"/"lost-output").
+const char* to_string(TaskStatus status);
 
 struct TaskRecord {
   TaskId id = 0;
@@ -77,6 +83,12 @@ struct JobResult {
   SimTime map_phase_start = 0;  ///< First map container dispatch.
   SimTime map_phase_end = 0;    ///< Last map container stop.
   SimTime finish_time = 0;
+
+  /// Simulator counters at job completion (whole-simulator totals: in
+  /// shared-cluster mode they span every co-running job).
+  std::uint64_t sim_events_fired = 0;
+  std::uint64_t sim_events_cancelled = 0;
+  std::uint64_t sim_queue_peak = 0;
 
   std::vector<TaskRecord> tasks;
 

@@ -1,0 +1,96 @@
+#include "mr/result_json.hpp"
+
+#include "mr/analysis.hpp"
+
+namespace flexmr::mr {
+
+void write_job_result(JsonWriter& writer, const JobResult& result,
+                      const cluster::Cluster* cluster) {
+  writer.begin_object();
+  writer.field("schema", "flexmr.job_result.v1");
+  writer.field("benchmark", result.benchmark);
+  writer.field("scheduler", result.scheduler);
+  writer.field("total_slots", result.total_slots);
+
+  writer.key("times").begin_object();
+  writer.field("submit", result.submit_time);
+  writer.field("map_phase_start", result.map_phase_start);
+  writer.field("map_phase_end", result.map_phase_end);
+  writer.field("finish", result.finish_time);
+  writer.end_object();
+
+  writer.key("metrics").begin_object();
+  writer.field("jct", result.jct());
+  writer.field("map_phase_runtime", result.map_phase_runtime());
+  writer.field("map_serial_runtime", result.map_serial_runtime());
+  writer.field("efficiency", result.efficiency());
+  writer.field("mean_map_productivity", result.mean_map_productivity());
+  writer.field("wasted_slot_time", result.wasted_slot_time());
+  writer.field("map_tasks_launched",
+               static_cast<std::uint64_t>(result.map_tasks_launched()));
+  writer.field("reduce_tasks",
+               static_cast<std::uint64_t>(
+                   result.count(TaskKind::kReduce, TaskStatus::kCompleted)));
+  writer.end_object();
+
+  writer.key("sim").begin_object();
+  writer.field("events_fired", result.sim_events_fired);
+  writer.field("events_cancelled", result.sim_events_cancelled);
+  writer.field("queue_peak", result.sim_queue_peak);
+  writer.end_object();
+
+  const auto nodes = cluster ? node_utilization(result, *cluster)
+                             : node_utilization(result);
+  const SimDuration span = result.jct();
+  writer.key("nodes").begin_array();
+  for (const auto& node : nodes) {
+    writer.begin_object();
+    writer.field("node", node.node);
+    writer.field("map_busy_slot_s", node.map_busy);
+    writer.field("reduce_busy_slot_s", node.reduce_busy);
+    writer.field("wasted_slot_s", node.wasted);
+    writer.field("map_input_mib", node.map_input);
+    if (cluster) {
+      writer.field("slots", node.slots);
+      writer.field("utilization", node.utilization(span));
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.key("tasks").begin_array();
+  for (const auto& task : result.tasks) {
+    writer.begin_object();
+    writer.field("id", static_cast<std::uint64_t>(task.id));
+    writer.field("kind", to_string(task.kind));
+    writer.field("status", to_string(task.status));
+    writer.field("node", task.node);
+    writer.field("speculative", task.speculative);
+    writer.field("dispatch", task.dispatch_time);
+    writer.field("compute_start", task.compute_start);
+    writer.field("end", task.end_time);
+    writer.field("input_mib", task.input_mib);
+    writer.field("num_bus", task.num_bus);
+    writer.field("local_fraction", task.local_fraction);
+    writer.field("productivity", task.productivity());
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.end_object();
+}
+
+std::string job_result_json(const JobResult& result) {
+  JsonWriter writer;
+  write_job_result(writer, result);
+  return writer.str();
+}
+
+std::string job_result_json(const JobResult& result,
+                            const cluster::Cluster& cluster) {
+  JsonWriter writer;
+  write_job_result(writer, result, &cluster);
+  return writer.str();
+}
+
+}  // namespace flexmr::mr

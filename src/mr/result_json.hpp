@@ -1,0 +1,29 @@
+// Machine-readable JobResult export (schema "flexmr.job_result.v1"):
+// job metadata, phase timestamps, the paper's derived metrics (JCT,
+// efficiency Eq. 2, productivity Eq. 1, wasted slot time), per-node
+// slot-second accounting, simulator counters, and the full task timeline.
+//
+// The CSV/Gantt exports in mr/trace.hpp stay as the human-facing view;
+// this is the artifact layer every bench and regression check reads.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/json.hpp"
+#include "mr/metrics.hpp"
+
+namespace flexmr::mr {
+
+/// Streams one JobResult as a JSON object into `writer` (so callers can
+/// embed it in a larger document). With a cluster, per-node entries also
+/// carry slot counts and utilization; without one, slot-second sums only.
+void write_job_result(JsonWriter& writer, const JobResult& result,
+                      const cluster::Cluster* cluster = nullptr);
+
+/// Standalone document forms.
+std::string job_result_json(const JobResult& result);
+std::string job_result_json(const JobResult& result,
+                            const cluster::Cluster& cluster);
+
+}  // namespace flexmr::mr

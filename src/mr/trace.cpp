@@ -10,20 +10,6 @@ namespace flexmr::mr {
 
 namespace {
 
-const char* kind_name(TaskKind kind) {
-  return kind == TaskKind::kMap ? "map" : "reduce";
-}
-
-const char* status_name(TaskStatus status) {
-  switch (status) {
-    case TaskStatus::kCompleted: return "completed";
-    case TaskStatus::kPartialCompleted: return "partial";
-    case TaskStatus::kKilled: return "killed";
-    case TaskStatus::kLostOutput: return "lost-output";
-  }
-  return "?";
-}
-
 char glyph(const TaskRecord& task) {
   if (task.status == TaskStatus::kKilled ||
       task.status == TaskStatus::kLostOutput) {
@@ -39,8 +25,8 @@ std::string trace_csv(const JobResult& result) {
   os << "id,kind,status,node,speculative,dispatch,compute_start,end,"
         "input_mib,num_bus,productivity\n";
   for (const auto& task : result.tasks) {
-    os << task.id << ',' << kind_name(task.kind) << ','
-       << status_name(task.status) << ',' << task.node << ','
+    os << task.id << ',' << to_string(task.kind) << ','
+       << to_string(task.status) << ',' << task.node << ','
        << (task.speculative ? 1 : 0) << ',' << task.dispatch_time << ','
        << task.compute_start << ',' << task.end_time << ','
        << task.input_mib << ',' << task.num_bus << ','

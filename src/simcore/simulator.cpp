@@ -11,11 +11,16 @@ EventId Simulator::schedule_at(SimTime t, Handler handler) {
   const EventId id = seq;  // seq doubles as the id; both start at 1
   queue_.push(QueueEntry{t, seq, id});
   handlers_.emplace(id, std::move(handler));
+  ++counters_.scheduled;
+  counters_.queue_peak = std::max<std::uint64_t>(counters_.queue_peak,
+                                                 queue_.size());
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  return handlers_.erase(id) > 0;  // queue entry is skipped lazily
+  if (handlers_.erase(id) == 0) return false;  // entry is skipped lazily
+  ++counters_.cancelled;
+  return true;
 }
 
 bool Simulator::step() {
@@ -28,6 +33,7 @@ bool Simulator::step() {
     handlers_.erase(it);
     FLEXMR_ASSERT(entry.time >= now_);
     now_ = entry.time;
+    ++counters_.fired;
     handler();
     return true;
   }
@@ -35,11 +41,12 @@ bool Simulator::step() {
 }
 
 void Simulator::run(std::uint64_t max_events) {
-  std::uint64_t fired = 0;
-  while (step()) {
-    if (++fired > max_events) {
-      throw InvariantError("simulation exceeded max_events — likely a loop");
-    }
+  // Exactly `max_events` events may fire; event max_events + 1 must not.
+  for (std::uint64_t fired = 0; fired < max_events; ++fired) {
+    if (!step()) return;
+  }
+  if (live_events() > 0) {
+    throw InvariantError("simulation exceeded max_events — likely a loop");
   }
 }
 

@@ -22,6 +22,17 @@ namespace flexmr {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Lifetime counters of one Simulator, for observability exports: how much
+/// work the event queue did and how deep it got. `queue_peak` counts raw
+/// queue entries (lazily-cancelled ones included), which is what memory
+/// pressure actually tracks.
+struct SimCounters {
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t queue_peak = 0;
+};
+
 class Simulator {
  public:
   using Handler = std::function<void()>;
@@ -49,11 +60,15 @@ class Simulator {
   /// Number of live (non-cancelled) scheduled events.
   std::size_t live_events() const { return handlers_.size(); }
 
+  /// Lifetime schedule/fire/cancel counts and the queue high-water mark.
+  SimCounters counters() const { return counters_; }
+
   /// Fires the next event; returns false when the queue is exhausted.
   bool step();
 
   /// Runs until no events remain. `max_events` guards against runaway
-  /// simulations; exceeding it throws InvariantError.
+  /// simulations: at most `max_events` events fire, and if live events
+  /// still remain once the budget is spent, InvariantError is thrown.
   void run(std::uint64_t max_events = 500'000'000ULL);
 
   /// Runs events with time <= t, then sets the clock to exactly t.
@@ -72,6 +87,7 @@ class Simulator {
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+  SimCounters counters_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "cluster/presets.hpp"
+#include "hdfs/namenode.hpp"
+#include "mr/driver.hpp"
 #include "workloads/experiment.hpp"
 
 namespace flexmr {
@@ -152,6 +154,49 @@ TEST(DriverIntegration, StockTaskCountEqualsBlockCount) {
     if (task.kind == mr::TaskKind::kMap) {
       EXPECT_EQ(task.num_bus, 8u);  // 64 MiB block = 8 BUs
     }
+  }
+}
+
+TEST(DriverIntegration, DriverDestructionRemovesItsSpeedListeners) {
+  // Regression: JobDriver::start() registers [this] lambdas on every
+  // machine. The cluster outlives the driver when jobs run sequentially,
+  // so a destroyed driver must leave no dangling callbacks behind — a
+  // later set_multiplier() on the shared cluster was a use-after-free.
+  auto cluster = cluster::presets::heterogeneous6();
+  const auto bench = small_bench();
+  const auto spec = workloads::to_job_spec(bench, InputScale::kSmall);
+  mr::SimParams params;
+  params.seed = 5;
+  Rng rng(5);
+  hdfs::NameNode nn(cluster.num_nodes(), hdfs::PlacementPolicy::kRandom,
+                    rng.split());
+  const auto layout = nn.create_file(bench.small_input, kDefaultBlockMiB, 3);
+
+  {
+    Simulator sim;
+    auto scheduler =
+        workloads::make_scheduler(SchedulerKind::kFlexMap, params.seed);
+    cluster.reset();
+    mr::JobDriver driver(sim, cluster, layout, spec, params, *scheduler);
+    const auto result = driver.run();
+    EXPECT_GT(result.jct(), 0.0);
+    for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+      EXPECT_GE(cluster.machine(n).num_speed_listeners(), 1u);
+    }
+  }
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_EQ(cluster.machine(n).num_speed_listeners(), 0u);
+  }
+  // A speed change on the shared cluster now touches no stale callback...
+  cluster.machine(0).set_multiplier(0.5);
+
+  // ...and a second job back-to-back on the same cluster runs normally.
+  const auto second = workloads::run_job(
+      cluster, bench, InputScale::kSmall, SchedulerKind::kFlexMap,
+      RunConfig{});
+  check_invariants(second, 64);
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_EQ(cluster.machine(n).num_speed_listeners(), 0u);
   }
 }
 

@@ -1,0 +1,375 @@
+// The observability layer: JsonWriter mechanics, the JobResult / FlexMap
+// trace exporters, and the shared bench artifact — every emitted document
+// must be syntactically valid JSON and carry its schema's required keys.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "cluster/presets.hpp"
+#include "common/json.hpp"
+#include "flexmap/export.hpp"
+#include "flexmap/flexmap_scheduler.hpp"
+#include "mr/result_json.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr {
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON syntax checker, so the tests can
+// assert validity without a third-party parser.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& doc) : doc_(doc) {}
+
+  bool valid() {
+    pos_ = 0;
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == doc_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < doc_.size() &&
+           std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (doc_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string() {
+    if (doc_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < doc_.size() && doc_[pos_] != '"') {
+      if (static_cast<unsigned char>(doc_[pos_]) < 0x20) return false;
+      if (doc_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= doc_.size()) return false;
+        const char esc = doc_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= doc_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(doc_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= doc_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < doc_.size() && doc_[pos_] == '-') ++pos_;
+    while (pos_ < doc_.size() &&
+           (std::isdigit(static_cast<unsigned char>(doc_[pos_])) ||
+            doc_[pos_] == '.' || doc_[pos_] == 'e' || doc_[pos_] == 'E' ||
+            doc_[pos_] == '+' || doc_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < doc_.size() && doc_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= doc_.size() || !parse_string()) return false;
+      skip_ws();
+      if (pos_ >= doc_.size() || doc_[pos_] != ':') return false;
+      ++pos_;
+      if (!parse_value()) return false;
+      skip_ws();
+      if (pos_ >= doc_.size()) return false;
+      if (doc_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (doc_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < doc_.size() && doc_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!parse_value()) return false;
+      skip_ws();
+      if (pos_ >= doc_.size()) return false;
+      if (doc_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      if (doc_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool parse_value() {
+    skip_ws();
+    if (pos_ >= doc_.size()) return false;
+    const char c = doc_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return parse_number();
+  }
+
+  const std::string& doc_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& doc) {
+  return JsonChecker(doc).valid();
+}
+
+bool has_key(const std::string& doc, const std::string& key) {
+  return doc.find("\"" + key + "\":") != std::string::npos;
+}
+
+// --------------------------------------------------------------- writer
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter object;
+  object.begin_object().end_object();
+  EXPECT_EQ(object.str(), "{}");
+
+  JsonWriter array;
+  array.begin_array().end_array();
+  EXPECT_EQ(array.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectFieldsAreCommaSeparated) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("a", 1);
+  writer.field("b", "two");
+  writer.field("c", true);
+  writer.end_object();
+  EXPECT_EQ(writer.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("rows").begin_array();
+  writer.begin_object().field("x", 1).end_object();
+  writer.begin_object().field("x", 2).end_object();
+  writer.end_array();
+  writer.key("empty").begin_array().end_array();
+  writer.end_object();
+  EXPECT_EQ(writer.str(), R"({"rows":[{"x":1},{"x":2}],"empty":[]})");
+  EXPECT_TRUE(is_valid_json(writer.str()));
+}
+
+TEST(JsonWriter, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"),
+            "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("héllo"), "héllo");  // UTF-8 passthrough
+
+  JsonWriter writer;
+  writer.begin_object().field("ke\"y", "va\nlue").end_object();
+  EXPECT_EQ(writer.str(), "{\"ke\\\"y\":\"va\\nlue\"}");
+  EXPECT_TRUE(is_valid_json(writer.str()));
+}
+
+TEST(JsonWriter, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(JsonWriter::number(0.0), "0");
+  EXPECT_EQ(JsonWriter::number(1.0), "1");
+  EXPECT_EQ(JsonWriter::number(0.5), "0.5");
+  EXPECT_EQ(JsonWriter::number(-2.25), "-2.25");
+  // 0.1 has no exact binary representation; shortest round-trip is "0.1".
+  EXPECT_EQ(JsonWriter::number(0.1), "0.1");
+  EXPECT_EQ(JsonWriter::number(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::number(INFINITY), "null");
+  EXPECT_EQ(JsonWriter::number(-INFINITY), "null");
+}
+
+TEST(JsonWriter, NonFiniteValuesBecomeNull) {
+  JsonWriter writer;
+  writer.begin_array();
+  writer.value(std::nan(""));
+  writer.value(1.5);
+  writer.end_array();
+  EXPECT_EQ(writer.str(), "[null,1.5]");
+}
+
+TEST(JsonWriter, IntegerTypesKeepFullPrecision) {
+  JsonWriter writer;
+  writer.begin_array();
+  writer.value(std::uint64_t{18446744073709551615u});
+  writer.value(std::int64_t{-9223372036854775807});
+  writer.value(std::uint32_t{42});
+  writer.value(-7);
+  writer.end_array();
+  EXPECT_EQ(writer.str(),
+            "[18446744073709551615,-9223372036854775807,42,-7]");
+}
+
+TEST(JsonWriter, RawInsertsPreserializedDocument) {
+  JsonWriter inner;
+  inner.begin_object().field("nested", true).end_object();
+  JsonWriter outer;
+  outer.begin_object();
+  outer.key("extra").raw(inner.str());
+  outer.end_object();
+  EXPECT_EQ(outer.str(), R"({"extra":{"nested":true}})");
+}
+
+TEST(JsonWriter, MisuseTripsAssertions) {
+  {
+    JsonWriter writer;
+    writer.begin_object();
+    EXPECT_THROW(writer.value(1), InvariantError);  // value without key
+  }
+  {
+    JsonWriter writer;
+    writer.begin_array();
+    EXPECT_THROW(writer.end_object(), InvariantError);  // wrong closer
+  }
+  {
+    JsonWriter writer;
+    writer.begin_object().end_object();
+    EXPECT_THROW(writer.value(2), InvariantError);  // second root
+  }
+  {
+    JsonWriter writer;
+    writer.begin_object();
+    EXPECT_THROW(writer.str(), InvariantError);  // incomplete document
+  }
+}
+
+// ------------------------------------------------------------ exporters
+
+mr::JobResult small_run(cluster::Cluster& cluster,
+                        workloads::SchedulerKind kind) {
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = 512.0;
+  workloads::RunConfig config;
+  config.params.seed = 21;
+  return workloads::run_job(cluster, bench, workloads::InputScale::kSmall,
+                            kind, config);
+}
+
+TEST(ResultJson, JobResultRoundTripsWithRequiredKeys) {
+  auto cluster = cluster::presets::heterogeneous6();
+  const auto result =
+      small_run(cluster, workloads::SchedulerKind::kFlexMap);
+
+  const std::string doc = mr::job_result_json(result, cluster);
+  ASSERT_TRUE(is_valid_json(doc));
+  EXPECT_NE(doc.find("\"schema\":\"flexmr.job_result.v1\""),
+            std::string::npos);
+  for (const char* key :
+       {"benchmark", "scheduler", "total_slots", "times", "metrics", "sim",
+        "nodes", "tasks", "jct", "efficiency", "mean_map_productivity",
+        "wasted_slot_time", "events_fired", "queue_peak", "utilization",
+        "productivity"}) {
+    EXPECT_TRUE(has_key(doc, key)) << "missing key: " << key;
+  }
+  // The cluster-free overload drops slots/utilization but stays valid.
+  const std::string bare = mr::job_result_json(result);
+  ASSERT_TRUE(is_valid_json(bare));
+  EXPECT_FALSE(has_key(bare, "utilization"));
+}
+
+TEST(ResultJson, SimCountersAreRecorded) {
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result =
+      small_run(cluster, workloads::SchedulerKind::kHadoopNoSpec);
+  EXPECT_GT(result.sim_events_fired, 0u);
+  EXPECT_GT(result.sim_queue_peak, 0u);
+}
+
+TEST(ResultJson, FlexMapTraceExports) {
+  auto cluster = cluster::presets::heterogeneous6();
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = 512.0;
+  flexmap::FlexMapScheduler scheduler;
+  workloads::RunConfig config;
+  config.params.seed = 13;
+  workloads::run_job(cluster, bench, workloads::InputScale::kSmall,
+                     scheduler, config);
+
+  const std::string doc = flexmap::flexmap_trace_json(scheduler);
+  ASSERT_TRUE(is_valid_json(doc));
+  EXPECT_NE(doc.find("\"schema\":\"flexmr.flexmap_trace.v1\""),
+            std::string::npos);
+  for (const char* key : {"sizing_trace", "speed_trace", "nodes",
+                          "size_unit_bus", "frozen", "observed_ips"}) {
+    EXPECT_TRUE(has_key(doc, key)) << "missing key: " << key;
+  }
+  EXPECT_FALSE(scheduler.sizing_trace().empty());
+  EXPECT_FALSE(scheduler.speed_trace().empty());
+}
+
+// ------------------------------------------------------------- artifact
+
+TEST(BenchArtifact, EmitsSchemaConsistentDocument) {
+  bench::BenchArtifact artifact("test", "artifact schema check");
+  artifact.record_seeds({1, 2, 3});
+  artifact.record_seeds({2, 3, 4});  // duplicates collapse
+
+  OnlineStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  artifact.add_metric("series-a", "jct", stats);
+  artifact.add_metric("series-a", "single", 7.5);
+  artifact.add_metric("series-b", "jct", stats);
+
+  JsonWriter inner;
+  inner.begin_object().field("detail", 1).end_object();
+  artifact.attach("trace", inner.str());
+
+  const std::string doc = artifact.json();
+  ASSERT_TRUE(is_valid_json(doc));
+  EXPECT_NE(doc.find("\"schema\":\"flexmr.bench.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"figure\":\"test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seeds\":[1,2,3,4]"), std::string::npos);
+  EXPECT_NE(doc.find("\"label\":\"series-a\""), std::string::npos);
+  EXPECT_NE(doc.find("\"label\":\"series-b\""), std::string::npos);
+  for (const char* key : {"wall_clock_s", "series", "metrics", "mean",
+                          "stddev", "min", "max", "count", "extra",
+                          "trace", "detail"}) {
+    EXPECT_TRUE(has_key(doc, key)) << "missing key: " << key;
+  }
+  EXPECT_NE(doc.find("\"mean\":2,"), std::string::npos);  // (1+3)/2
+}
+
+}  // namespace
+}  // namespace flexmr

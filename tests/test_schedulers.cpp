@@ -6,6 +6,7 @@
 
 #include "cluster/presets.hpp"
 #include "flexmap/flexmap_scheduler.hpp"
+#include "flexmap/reduce_placer.hpp"
 #include "workloads/experiment.hpp"
 
 namespace flexmr {
@@ -248,6 +249,35 @@ TEST(FlexMap, NoVerticalKeepsTasksAtSpeedScaledUnit) {
   for (const auto& point : scheduler.sizing_trace()) {
     EXPECT_LE(point.size_bus, 2u);  // unit stays 1; speed ratio ≈ 1
   }
+}
+
+TEST(FlexMap, ReducePlacerZeroCapacityNeverAccepts) {
+  // The c² rule uses the shared strict-< bernoulli convention: a node
+  // whose normalized capacity is 0 must decline every offer (the old
+  // `uniform() <= p` form accepted when the RNG drew exactly 0).
+  flexmap::BiasedReducePlacer placer(123);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_FALSE(placer.accept(0.0));
+  }
+}
+
+TEST(FlexMap, ReducePlacerFullCapacityAlwaysAccepts) {
+  flexmap::BiasedReducePlacer placer(123);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_TRUE(placer.accept(1.0));
+  }
+}
+
+TEST(FlexMap, ReducePlacerAcceptanceTracksCapacitySquared) {
+  flexmap::BiasedReducePlacer placer(7);
+  const double capacity = 0.5;
+  const int draws = 40000;
+  int accepted = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (placer.accept(capacity)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / draws, capacity * capacity,
+              0.01);
 }
 
 }  // namespace

@@ -130,5 +130,49 @@ TEST(Simulator, LiveEventsTracksCancellations) {
   EXPECT_EQ(sim.live_events(), 1u);
 }
 
+TEST(Simulator, RunBudgetAllowsExactlyMaxEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i), [&]() { ++fired; });
+  }
+  sim.run(5);  // budget equals live events: all fire, no throw
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, RunBudgetRejectsEventMaxPlusOne) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.schedule_at(static_cast<SimTime>(i), [&]() { ++fired; });
+  }
+  EXPECT_THROW(sim.run(5), InvariantError);
+  EXPECT_EQ(fired, 5);  // the bound is exact: event 6 never ran
+}
+
+TEST(Simulator, RunBudgetIgnoresCancelledQueueResidue) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(0.0, [&]() { ++fired; });
+  const EventId dead = sim.schedule_at(1.0, [&]() { ++fired; });
+  sim.cancel(dead);
+  sim.run(1);  // the lazily-cancelled entry is not a live event
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CountersTrackScheduleFireCancelAndPeak) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, []() {});
+  sim.schedule_at(2.0, []() {});
+  sim.schedule_at(3.0, []() {});
+  sim.cancel(a);
+  sim.run();
+  const auto counters = sim.counters();
+  EXPECT_EQ(counters.scheduled, 3u);
+  EXPECT_EQ(counters.fired, 2u);
+  EXPECT_EQ(counters.cancelled, 1u);
+  EXPECT_EQ(counters.queue_peak, 3u);
+}
+
 }  // namespace
 }  // namespace flexmr

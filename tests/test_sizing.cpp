@@ -118,6 +118,22 @@ TEST(DynamicSizer, PaperTrajectoryReproduced) {
   EXPECT_EQ(sizer.size_unit(0), 32u);
 }
 
+TEST(DynamicSizer, UnboundedGrowthSaturatesInsteadOfWrapping) {
+  // Paper default max_unit_bus = 0 means "no bound". A node that never
+  // becomes productive doubles every wave; after 32 waves a naive uint32
+  // doubling wraps back to small sizes. The sizer must saturate at
+  // kMaxSizeUnit, stay monotone, and freeze there.
+  DynamicSizer sizer(1);
+  std::uint32_t previous = sizer.size_unit(0);
+  for (std::uint32_t wave = 0; wave < 64; ++wave) {
+    sizer.on_task_complete(0, wave, 0.1);
+    EXPECT_GE(sizer.size_unit(0), previous);  // never wraps
+    previous = sizer.size_unit(0);
+  }
+  EXPECT_EQ(sizer.size_unit(0), kMaxSizeUnit);
+  EXPECT_TRUE(sizer.frozen(0));
+}
+
 TEST(DynamicSizer, InvalidLimitsThrow) {
   SizingOptions options;
   options.fast_limit = 0.95;
