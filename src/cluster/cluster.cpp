@@ -22,6 +22,7 @@ void Cluster::reset() {
   for (auto& machine : machines_) {
     machine->clear_speed_listeners();
     machine->set_multiplier(1.0);
+    machine->set_fault_factor(1.0);
   }
 }
 

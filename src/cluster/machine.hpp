@@ -43,7 +43,10 @@ class Machine {
   std::uint32_t slots() const { return spec_.slots; }
 
   double multiplier() const { return multiplier_; }
-  MiBps effective_ips() const { return spec_.base_ips * multiplier_; }
+  double fault_factor() const { return fault_factor_; }
+  MiBps effective_ips() const {
+    return spec_.base_ips * multiplier_ * fault_factor_;
+  }
 
   /// Sets the interference multiplier and notifies listeners. Multiplier
   /// must be in (0, 1]: interference can only slow a machine down.
@@ -51,9 +54,18 @@ class Machine {
     FLEXMR_ASSERT(m > 0.0 && m <= 1.0);
     if (m == multiplier_) return;
     multiplier_ = m;
-    for (const auto& [id, listener] : listeners_) {
-      listener(id_, effective_ips());
-    }
+    notify();
+  }
+
+  /// Fault-injection degradation factor in (0, 1], composed with the
+  /// interference multiplier (the two are driven independently: the
+  /// interference model keeps updating `multiplier_` during a degradation
+  /// window and must not erase it, nor vice versa).
+  void set_fault_factor(double f) {
+    FLEXMR_ASSERT(f > 0.0 && f <= 1.0);
+    if (f == fault_factor_) return;
+    fault_factor_ = f;
+    notify();
   }
 
   /// Registers a listener and returns a handle the owner MUST use to
@@ -83,9 +95,16 @@ class Machine {
   std::size_t num_speed_listeners() const { return listeners_.size(); }
 
  private:
+  void notify() {
+    for (const auto& [id, listener] : listeners_) {
+      listener(id_, effective_ips());
+    }
+  }
+
   NodeId id_;
   MachineSpec spec_;
   double multiplier_ = 1.0;
+  double fault_factor_ = 1.0;
   SpeedListenerId next_listener_id_ = 1;
   std::vector<std::pair<SpeedListenerId, SpeedListener>> listeners_;
 };

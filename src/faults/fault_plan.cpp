@@ -1,0 +1,200 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flexmr::faults {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw ConfigError(what); }
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    std::ostringstream os;
+    os << "FaultPlan: " << name << " must be in [0, 1], got " << p;
+    fail(os.str());
+  }
+}
+
+}  // namespace
+
+double FaultPlan::attempt_failure_prob_for(NodeId node) const {
+  for (const auto& [n, p] : node_attempt_failure_prob) {
+    if (n == node) return p;
+  }
+  return attempt_failure_prob;
+}
+
+bool FaultPlan::empty() const {
+  if (!crashes.empty() || !degradations.empty()) return false;
+  if (attempt_failure_prob > 0.0 || container_launch_failure_prob > 0.0) {
+    return false;
+  }
+  return std::all_of(node_attempt_failure_prob.begin(),
+                     node_attempt_failure_prob.end(),
+                     [](const auto& e) { return e.second <= 0.0; });
+}
+
+void FaultPlan::validate(std::uint32_t num_nodes) const {
+  check_prob(attempt_failure_prob, "attempt_failure_prob");
+  check_prob(container_launch_failure_prob, "container_launch_failure_prob");
+  check_prob(blacklist_ignore_fraction, "blacklist_ignore_fraction");
+  if (node_liveness_timeout_s < 0.0) {
+    fail("FaultPlan: node_liveness_timeout_s must be >= 0");
+  }
+  if (max_attempts == 0) fail("FaultPlan: max_attempts must be >= 1");
+  if (blacklist_threshold == 0) {
+    fail("FaultPlan: blacklist_threshold must be >= 1");
+  }
+  std::vector<char> overridden(num_nodes, 0);
+  for (const auto& [node, p] : node_attempt_failure_prob) {
+    if (node >= num_nodes) {
+      std::ostringstream os;
+      os << "FaultPlan: attempt-failure override names node " << node
+         << " but the cluster has " << num_nodes << " nodes";
+      fail(os.str());
+    }
+    if (overridden[node]) {
+      std::ostringstream os;
+      os << "FaultPlan: node " << node
+         << " has more than one attempt-failure override";
+      fail(os.str());
+    }
+    overridden[node] = 1;
+    check_prob(p, "node_attempt_failure_prob");
+  }
+
+  // Crash intervals per node must be well-formed and non-overlapping: a
+  // node may crash again only after an earlier crash's rejoin.
+  std::map<NodeId, std::vector<const NodeCrash*>> per_node;
+  for (const auto& crash : crashes) {
+    if (crash.node >= num_nodes) {
+      std::ostringstream os;
+      os << "FaultPlan: crash names node " << crash.node
+         << " but the cluster has " << num_nodes << " nodes";
+      fail(os.str());
+    }
+    if (crash.at < 0.0) {
+      std::ostringstream os;
+      os << "FaultPlan: crash of node " << crash.node
+         << " at negative time " << crash.at;
+      fail(os.str());
+    }
+    if (crash.rejoin_at && *crash.rejoin_at <= crash.at) {
+      std::ostringstream os;
+      os << "FaultPlan: node " << crash.node << " rejoin at "
+         << *crash.rejoin_at << " does not follow its crash at " << crash.at;
+      fail(os.str());
+    }
+    per_node[crash.node].push_back(&crash);
+  }
+  for (auto& [node, list] : per_node) {
+    std::sort(list.begin(), list.end(),
+              [](const NodeCrash* a, const NodeCrash* b) {
+                return a->at < b->at;
+              });
+    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+      if (!list[i]->rejoin_at || *list[i]->rejoin_at >= list[i + 1]->at) {
+        std::ostringstream os;
+        os << "FaultPlan: node " << node << " crashes again at "
+           << list[i + 1]->at << " while already down since "
+           << list[i]->at
+           << (list[i]->rejoin_at ? " (rejoin is not earlier)"
+                                  : " (no rejoin scheduled)");
+        fail(os.str());
+      }
+    }
+  }
+
+  for (const auto& window : degradations) {
+    if (window.node >= num_nodes) {
+      std::ostringstream os;
+      os << "FaultPlan: degradation names node " << window.node
+         << " but the cluster has " << num_nodes << " nodes";
+      fail(os.str());
+    }
+    if (window.from < 0.0 || window.until <= window.from) {
+      std::ostringstream os;
+      os << "FaultPlan: degradation window [" << window.from << ", "
+         << window.until << ") on node " << window.node << " is degenerate";
+      fail(os.str());
+    }
+    if (!(window.factor > 0.0 && window.factor <= 1.0)) {
+      std::ostringstream os;
+      os << "FaultPlan: degradation factor " << window.factor << " on node "
+         << window.node << " must be in (0, 1]";
+      fail(os.str());
+    }
+  }
+}
+
+const char* to_string(FaultEventType type) {
+  switch (type) {
+    case FaultEventType::kCrash: return "crash";
+    case FaultEventType::kDetected: return "detected";
+    case FaultEventType::kRejoin: return "rejoin";
+    case FaultEventType::kAttemptFailure: return "attempt-failure";
+    case FaultEventType::kLaunchFailure: return "launch-failure";
+    case FaultEventType::kBlacklist: return "blacklist";
+    case FaultEventType::kAbort: return "abort";
+  }
+  return "?";
+}
+
+void write_fault_plan(JsonWriter& writer, const FaultPlan& plan) {
+  writer.begin_object();
+  writer.key("crashes").begin_array();
+  for (const auto& crash : plan.crashes) {
+    writer.begin_object();
+    writer.field("node", crash.node);
+    writer.field("at", crash.at);
+    if (crash.rejoin_at) writer.field("rejoin_at", *crash.rejoin_at);
+    writer.field("silent", crash.silent);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.key("degradations").begin_array();
+  for (const auto& window : plan.degradations) {
+    writer.begin_object();
+    writer.field("node", window.node);
+    writer.field("from", window.from);
+    writer.field("until", window.until);
+    writer.field("factor", window.factor);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.field("attempt_failure_prob", plan.attempt_failure_prob);
+  writer.key("node_attempt_failure_prob").begin_array();
+  for (const auto& [node, p] : plan.node_attempt_failure_prob) {
+    writer.begin_object();
+    writer.field("node", node);
+    writer.field("prob", p);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.field("container_launch_failure_prob",
+               plan.container_launch_failure_prob);
+  writer.field("node_liveness_timeout_s", plan.node_liveness_timeout_s);
+  writer.field("max_attempts", plan.max_attempts);
+  writer.field("blacklist_threshold", plan.blacklist_threshold);
+  writer.field("blacklist_ignore_fraction", plan.blacklist_ignore_fraction);
+  writer.end_object();
+}
+
+void write_fault_event(JsonWriter& writer, const FaultEvent& event) {
+  writer.begin_object();
+  writer.field("t", event.time);
+  writer.field("type", to_string(event.type));
+  if (event.node != kInvalidNode) writer.field("node", event.node);
+  if (event.task != kInvalidTask) {
+    writer.field("task", static_cast<std::uint64_t>(event.task));
+  }
+  if (event.attempts > 0) writer.field("attempts", event.attempts);
+  writer.end_object();
+}
+
+}  // namespace flexmr::faults

@@ -1,0 +1,129 @@
+// FaultPlan — the declarative fault model of one simulated run.
+//
+// The paper's clusters (12-node physical, 20-node virtual, 40-node
+// multi-tenant EC2) exhibit churn, not just heterogeneity: nodes stall,
+// containers die, and the AM only learns about a dead node through missed
+// heartbeats. A FaultPlan describes every fault the run injects:
+//
+//   * NodeCrash        — the node's processes die at `at`. A *silent* crash
+//                        (the default, Hadoop's reality) is only detected
+//                        once `node_liveness_timeout_s` passes without a
+//                        heartbeat, so in-flight work on the dead node
+//                        wastes real simulated time. A non-silent crash is
+//                        the legacy oracle path (instant detection), kept
+//                        for `RunConfig::node_failures` compatibility.
+//                        With `rejoin_at` set, the node re-registers then:
+//                        the RM restores its slots, schedulers re-offer,
+//                        and all pre-crash speed estimates are discarded.
+//   * DegradedWindow   — a transient slowdown (co-runner burst, thermal
+//                        throttling): effective IPS is multiplied by
+//                        `factor` during [from, until).
+//   * attempt faults   — each task attempt on a node fails independently
+//                        with `attempt_failure_prob(node)` (JVM crash, disk
+//                        error), and each container launch fails with
+//                        `container_launch_failure_prob` before any compute.
+//
+// Recovery knobs default to Hadoop's: 4 attempts per unit of work
+// (mapreduce.map|reduce.maxattempts), AM node blacklisting after 3 failed
+// attempts on a node (mapreduce.job.maxtaskfailures.per.tracker), and the
+// blacklist is ignored once it would cover more than 33% of the cluster
+// (yarn.app.mapreduce.am.job.node-blacklisting.ignore-threshold-node-
+// percent). The liveness timeout defaults to 6 heartbeat periods (30 s at
+// the simulator's 5 s AM heartbeat) — Hadoop's 600 s NM expiry scaled to
+// the same missed-beat count it allows at its 1-3 s NM heartbeat would
+// stall small simulated jobs for longer than their whole runtime.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/units.hpp"
+
+namespace flexmr::faults {
+
+struct NodeCrash {
+  NodeId node = 0;
+  SimTime at = 0;
+  /// Absolute time the node re-registers with the RM; nullopt = permanent.
+  std::optional<SimTime> rejoin_at;
+  /// Silent death (heartbeat-expiry detection). False = legacy oracle
+  /// detection at `at` exactly.
+  bool silent = true;
+};
+
+struct DegradedWindow {
+  NodeId node = 0;
+  SimTime from = 0;
+  SimTime until = 0;
+  /// Effective-speed multiplier in (0, 1] applied during the window.
+  double factor = 0.5;
+};
+
+struct FaultPlan {
+  std::vector<NodeCrash> crashes;
+  std::vector<DegradedWindow> degradations;
+
+  /// Cluster-wide per-attempt transient failure probability.
+  double attempt_failure_prob = 0.0;
+  /// Per-node overrides of attempt_failure_prob (node, probability).
+  std::vector<std::pair<NodeId, double>> node_attempt_failure_prob;
+  /// Probability a container launch fails during startup (no compute).
+  double container_launch_failure_prob = 0.0;
+
+  /// Declare a node lost after this long without a heartbeat.
+  SimDuration node_liveness_timeout_s = 30.0;
+  /// Attempts per unit of work before the job aborts (Hadoop: 4).
+  std::uint32_t max_attempts = 4;
+  /// Failed attempts on one node before the AM blacklists it (Hadoop: 3).
+  std::uint32_t blacklist_threshold = 3;
+  /// Ignore the blacklist once it covers more than this fraction of the
+  /// cluster (Hadoop: 0.33).
+  double blacklist_ignore_fraction = 0.33;
+
+  /// Effective transient-attempt failure probability for `node`.
+  double attempt_failure_prob_for(NodeId node) const;
+
+  /// True when the plan injects nothing (the fault machinery is skipped
+  /// entirely and runs are byte-identical to a plan-free build).
+  bool empty() const;
+
+  /// Structural validation against a cluster of `num_nodes` nodes. Throws
+  /// ConfigError naming the offending entry: out-of-range node ids,
+  /// negative times, probabilities outside [0, 1], rejoin before crash,
+  /// overlapping crash intervals on one node, degenerate windows.
+  void validate(std::uint32_t num_nodes) const;
+};
+
+/// Fault-timeline event kinds recorded into JobResult::events.
+enum class FaultEventType {
+  kCrash,           ///< Ground truth: node died (silent or oracle).
+  kDetected,        ///< AM/RM declared the node lost.
+  kRejoin,          ///< Node re-registered; slots restored.
+  kAttemptFailure,  ///< A task attempt failed transiently.
+  kLaunchFailure,   ///< A container launch failed during startup.
+  kBlacklist,       ///< AM blacklisted a node.
+  kAbort,           ///< Job aborted (max_attempts exceeded / cluster lost).
+};
+
+/// Stable wire names ("crash", "detected", "rejoin", ...).
+const char* to_string(FaultEventType type);
+
+struct FaultEvent {
+  SimTime time = 0;
+  FaultEventType type = FaultEventType::kCrash;
+  NodeId node = kInvalidNode;
+  TaskId task = kInvalidTask;
+  /// Attempt count at the moment of the event (failure/blacklist events).
+  std::uint32_t attempts = 0;
+};
+
+/// Streams the plan as a JSON object (embedded in flexmr.job_result.v1 so
+/// a failing fault-sweep run is reproducible from its artifact alone).
+void write_fault_plan(JsonWriter& writer, const FaultPlan& plan);
+
+/// Streams one fault event as a JSON object.
+void write_fault_event(JsonWriter& writer, const FaultEvent& event);
+
+}  // namespace flexmr::faults

@@ -1,0 +1,56 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace flexmr::faults {
+
+void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
+  down_.assign(cluster.num_nodes(), 0);
+  for (const auto& crash : plan_.crashes) {
+    const NodeCrash entry = crash;
+    // A job submitted after a planned fault time learns about it at start.
+    sim.schedule_at(std::max(entry.at, sim.now()), [this, entry]() {
+      down_[entry.node] = 1;
+      if (on_crash_) on_crash_(entry.node, entry.silent);
+    });
+    if (entry.rejoin_at) {
+      ++pending_rejoins_;
+      sim.schedule_at(std::max(*entry.rejoin_at, sim.now()),
+                      [this, entry]() {
+                        down_[entry.node] = 0;
+                        if (on_rejoin_) on_rejoin_(entry.node);
+                        // Decremented only after the handler: an abort
+                        // check inside rejoin resync must still see this
+                        // rejoin as pending.
+                        --pending_rejoins_;
+                      });
+    }
+  }
+  for (const auto& window : plan_.degradations) {
+    const DegradedWindow w = window;
+    cluster::Machine* machine = &cluster.machine(w.node);
+    sim.schedule_at(w.from, [machine, w]() {
+      machine->set_fault_factor(w.factor);
+    });
+    sim.schedule_at(w.until, [machine]() {
+      machine->set_fault_factor(1.0);
+    });
+  }
+}
+
+bool FaultInjector::draw_launch_failure(NodeId node) {
+  (void)node;
+  const double p = plan_.container_launch_failure_prob;
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+bool FaultInjector::draw_attempt_failure(NodeId node) {
+  const double p = plan_.attempt_failure_prob_for(node);
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+double FaultInjector::draw_failure_fraction() {
+  return rng_.uniform(0.05, 0.95);
+}
+
+}  // namespace flexmr::faults

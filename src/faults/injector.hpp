@@ -1,0 +1,74 @@
+// FaultInjector — the ground-truth half of the fault subsystem.
+//
+// The injector plays the *physical world*: it kills nodes at their planned
+// crash times (silencing their heartbeats), re-registers them at rejoin,
+// applies degradation windows to machine speeds, and draws per-attempt
+// transient/launch failures from its own RNG stream (so arming faults
+// never perturbs the exec-noise or placement streams of a plan-free run).
+//
+// The observable half lives in the JobDriver/RM: the AM only reacts to a
+// silent crash once the node's heartbeats stop arriving for the plan's
+// liveness timeout — `responsive()` is the injector's ground truth that
+// the heartbeat generator consults, never the scheduler.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "simcore/simulator.hpp"
+
+namespace flexmr::faults {
+
+class FaultInjector {
+ public:
+  /// Fired at ground-truth crash time; `silent` mirrors the plan entry.
+  using CrashHandler = std::function<void(NodeId node, bool silent)>;
+  /// Fired when a node re-registers.
+  using RejoinHandler = std::function<void(NodeId node)>;
+
+  FaultInjector(FaultPlan plan, std::uint64_t seed)
+      : plan_(std::move(plan)), rng_(seed ^ 0xfa1175eedc0ffee1ULL) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  void set_crash_handler(CrashHandler handler) {
+    on_crash_ = std::move(handler);
+  }
+  void set_rejoin_handler(RejoinHandler handler) {
+    on_rejoin_ = std::move(handler);
+  }
+
+  /// Schedules every planned crash/rejoin/degradation on `sim`. Call once,
+  /// after the handlers are installed. `cluster` is needed for degradation
+  /// windows (fault factor) and node count.
+  void arm(Simulator& sim, cluster::Cluster& cluster);
+
+  /// Ground truth: is the node's NodeManager process up and heartbeating?
+  bool responsive(NodeId node) const {
+    return node >= down_.size() || down_[node] == 0;
+  }
+
+  /// True while at least one planned rejoin has not fired yet — an
+  /// all-nodes-lost job must keep waiting instead of aborting.
+  bool rejoin_pending() const { return pending_rejoins_ > 0; }
+
+  /// Per-attempt draws (consumed at dispatch, in deterministic event
+  /// order, so a fault sweep is reproducible per seed).
+  bool draw_launch_failure(NodeId node);
+  bool draw_attempt_failure(NodeId node);
+  /// Fraction of the attempt's projected compute at which it dies.
+  double draw_failure_fraction();
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  CrashHandler on_crash_;
+  RejoinHandler on_rejoin_;
+  std::vector<char> down_;
+  std::uint32_t pending_rejoins_ = 0;
+};
+
+}  // namespace flexmr::faults

@@ -86,6 +86,15 @@ void FlexMapScheduler::on_node_failed(mr::DriverContext& ctx, NodeId node,
   reduce_assigned_.clear();
 }
 
+void FlexMapScheduler::on_node_recovered(mr::DriverContext& ctx,
+                                         NodeId node) {
+  (void)ctx;
+  monitor_->forget(node);
+  sizer_->reset_node(node);
+  reduce_quota_.clear();
+  reduce_assigned_.clear();
+}
+
 std::uint32_t FlexMapScheduler::end_game_cap(const mr::DriverContext& ctx,
                                              NodeId node) const {
   // Observed per-container rates; unreported nodes assume the mean.

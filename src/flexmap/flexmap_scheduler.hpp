@@ -75,6 +75,10 @@ class FlexMapScheduler final : public mr::Scheduler {
   void on_heartbeat(mr::DriverContext& ctx, NodeId node) override;
   void on_node_failed(mr::DriverContext& ctx, NodeId node,
                       const std::vector<BlockUnitId>& reclaimed) override;
+  /// A rejoined node is a blank slate: pre-crash speed readings and sizing
+  /// state describe the old incarnation, so both restart from scratch and
+  /// reduce quotas are recomputed against the new capacity picture.
+  void on_node_recovered(mr::DriverContext& ctx, NodeId node) override;
   bool accept_reducer(mr::DriverContext& ctx, NodeId node) override;
 
   /// Observability for tests and the Fig. 7 bench.

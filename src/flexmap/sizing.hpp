@@ -78,6 +78,15 @@ class DynamicSizer {
   bool on_task_complete(NodeId node, std::uint32_t task_epoch,
                         double productivity);
 
+  /// Restarts `node` from scratch (a crashed node rejoining the cluster):
+  /// back to a 1-BU size unit, unfrozen, with a fresh epoch so stale
+  /// completions from the old incarnation cannot trigger growth.
+  void reset_node(NodeId node) {
+    nodes_[node].size_unit = 1;
+    nodes_[node].frozen = false;
+    ++nodes_[node].epoch;
+  }
+
  private:
   struct NodeState {
     std::uint32_t size_unit = 1;  ///< s_i, in BUs (starts at one 8 MB BU).

@@ -59,11 +59,45 @@ void JobDriver::start() {
   FLEXMR_ASSERT_MSG(!started_, "JobDriver is one-shot");
   started_ = true;
 
+  // Fold legacy one-shot failures into the plan (oracle-detected crashes)
+  // and validate the whole thing against this cluster before any state
+  // changes.
+  for (const auto& [node, time] : planned_failures_) {
+    plan_.crashes.push_back(
+        faults::NodeCrash{node, time, std::nullopt, /*silent=*/false});
+  }
+  planned_failures_.clear();
+  plan_.validate(cluster_->num_nodes());
+
   result_.benchmark = job_.name;
   result_.scheduler = scheduler_->name();
   result_.total_slots = rm_.total_slots();
+  result_.seed = params_.seed;
+  result_.fault_plan = plan_;
   result_.submit_time = sim_->now();
   result_.map_phase_start = sim_->now();
+
+  bu_attempt_failures_.assign(layout_->bus.size(), 0);
+  node_failed_attempts_.assign(cluster_->num_nodes(), 0);
+  blacklisted_.assign(cluster_->num_nodes(), 0);
+
+  if (!plan_.empty()) {
+    injector_ = std::make_unique<faults::FaultInjector>(plan_, params_.seed);
+    injector_->set_crash_handler([this](NodeId node, bool silent) {
+      if (done_) return;
+      record_fault(faults::FaultEventType::kCrash, node);
+      if (silent) {
+        on_node_silent(node);
+      } else {
+        fail_node(node);
+      }
+    });
+    injector_->set_rejoin_handler(
+        [this](NodeId node) { on_node_rejoin(node); });
+    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+      rm_.record_heartbeat(node, sim_->now());
+    }
+  }
 
   if (owned_rm_) {
     // Single-job mode: this driver owns interference and the offer loop.
@@ -79,12 +113,7 @@ void JobDriver::start() {
 
   scheduler_->on_job_start(*this);
 
-  for (const auto& [node, time] : planned_failures_) {
-    const NodeId failing = node;
-    // A job submitted after the failure learns about it immediately.
-    sim_->schedule_at(std::max(time, sim_->now()),
-                      [this, failing]() { fail_node(failing); });
-  }
+  if (injector_) injector_->arm(*sim_, *cluster_);
 
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();
@@ -102,6 +131,9 @@ JobResult JobDriver::run() {
       throw InvariantError("simulation ran dry before job completion");
     }
   }
+  if (result_.aborted) {
+    throw JobAbortedError(result_.abort_reason, result_);
+  }
   return result_;
 }
 
@@ -111,6 +143,7 @@ JobResult JobDriver::run() {
 
 bool JobDriver::handle_offer(NodeId node) {
   if (done_) return false;
+  if (node_blacklisted(node)) return false;
   if (!map_phase_done_) {
     auto launch = scheduler_->on_slot_free(*this, node);
     if (launch) {
@@ -141,6 +174,7 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
                       "cannot speculate a speculative copy");
     task->bus = original.bus;
     task->speculative = true;
+    task->owns_bus = false;  // the original owns the list until it dies
     task->twin = original.id;
     original.twin = task->id;
   } else {
@@ -172,11 +206,29 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
                                 sigma * rng_.normal());
   }
 
+  if (injector_) {
+    if (injector_->draw_launch_failure(node)) {
+      task->planned_fault = PlannedFault::kLaunchFail;
+    } else if (injector_->draw_attempt_failure(node)) {
+      task->planned_fault = PlannedFault::kAttemptFail;
+      task->fail_frac = injector_->draw_failure_fraction();
+    }
+  }
+
   const TaskId id = task->id;
   const SimDuration startup = params_.container_alloc_s +
                               params_.jvm_startup_s + launch.extra_startup_s;
-  task->pending_event =
-      sim_->schedule_after(startup, [this, id]() { map_compute_start(id); });
+  if (injector_ && !injector_->responsive(node)) {
+    // Dispatched onto a silently-dead node (the AM has not noticed yet):
+    // the container never comes up. The task freezes in kStarting until
+    // heartbeat expiry declares the node lost and reclaims its work.
+  } else if (task->planned_fault == PlannedFault::kLaunchFail) {
+    task->pending_event = sim_->schedule_after(
+        params_.container_alloc_s, [this, id]() { map_attempt_fail(id); });
+  } else {
+    task->pending_event =
+        sim_->schedule_after(startup, [this, id]() { map_compute_start(id); });
+  }
 
   ++running_map_count_;
   map_tasks_.push_back(std::move(task));
@@ -195,6 +247,18 @@ void JobDriver::map_compute_start(TaskId id) {
   task.phase = TaskPhase::kComputing;
   task.compute_start = sim_->now();
   task.integrator.emplace(task.size, map_rate(task), sim_->now());
+  if (task.planned_fault == PlannedFault::kAttemptFail) {
+    // The attempt dies fail_frac of the way to its projected completion
+    // (wall-clock moment — later speed changes re-rate the integrator but
+    // do not move the death).
+    const auto eta = task.integrator->eta(sim_->now());
+    FLEXMR_ASSERT(eta.has_value());
+    const SimTime fail_at =
+        sim_->now() + task.fail_frac * (*eta - sim_->now());
+    task.pending_event =
+        sim_->schedule_at(fail_at, [this, id]() { map_attempt_fail(id); });
+    return;
+  }
   reschedule_map_completion(task);
 }
 
@@ -357,7 +421,10 @@ void JobDriver::finish_map_phase() {
     finish_job();
     return;
   }
-  enqueue_reducers();
+  // Reducers already exist when the phase was *re-opened* by a map-output
+  // loss during the shuffle; the survivors keep their progress and the
+  // stalled ones sit in reduce_requeue_.
+  if (reduce_tasks_.empty()) enqueue_reducers();
   // Reduce dispatch waits for the deferred offer_all below: otherwise the
   // slot release of the *last finishing map* — almost always on the
   // slowest node — would synchronously grab the first (largest) reducer.
@@ -404,6 +471,7 @@ void JobDriver::enqueue_reducers() {
     task->input = total_intermediate_ * task->share;
     reduce_tasks_.push_back(std::move(task));
   }
+  reduce_attempt_failures_.assign(reduce_tasks_.size(), 0);
 }
 
 bool JobDriver::dispatch_reduce(NodeId node) {
@@ -459,11 +527,28 @@ bool JobDriver::dispatch_reduce(NodeId node) {
     task.exec_noise = std::exp(-sigma * sigma / 2.0 + sigma * rng_.normal());
   }
   task.dispatch_time = sim_->now();
+  task.planned_fault = PlannedFault::kNone;
+  task.fail_frac = 0;
+  if (injector_) {
+    if (injector_->draw_launch_failure(node)) {
+      task.planned_fault = PlannedFault::kLaunchFail;
+    } else if (injector_->draw_attempt_failure(node)) {
+      task.planned_fault = PlannedFault::kAttemptFail;
+      task.fail_frac = injector_->draw_failure_fraction();
+    }
+  }
   ++running_reduce_count_;
   const SimDuration startup =
       params_.container_alloc_s + params_.jvm_startup_s;
-  task.pending_event = sim_->schedule_after(
-      startup, [this, idx]() { reduce_fetch_start(idx); });
+  if (injector_ && !injector_->responsive(node)) {
+    // Container on a silently-dead node: frozen until detection.
+  } else if (task.planned_fault == PlannedFault::kLaunchFail) {
+    task.pending_event = sim_->schedule_after(
+        params_.container_alloc_s, [this, idx]() { reduce_attempt_fail(idx); });
+  } else {
+    task.pending_event = sim_->schedule_after(
+        startup, [this, idx]() { reduce_fetch_start(idx); });
+  }
   return true;
 }
 
@@ -494,6 +579,13 @@ void JobDriver::reduce_compute_start(std::size_t idx) {
   task.integrator.emplace(task.input, reduce_rate(task), sim_->now());
   const auto eta = task.integrator->eta(sim_->now());
   FLEXMR_ASSERT(eta.has_value());
+  if (task.planned_fault == PlannedFault::kAttemptFail) {
+    const SimTime fail_at =
+        sim_->now() + task.fail_frac * (*eta - sim_->now());
+    task.pending_event = sim_->schedule_at(
+        fail_at, [this, idx]() { reduce_attempt_fail(idx); });
+    return;
+  }
   task.pending_event =
       sim_->schedule_at(*eta, [this, idx]() { reduce_complete(idx); });
 }
@@ -543,6 +635,24 @@ void JobDriver::finish_job() {
 void JobDriver::heartbeat() {
   if (done_) return;
 
+  // Liveness: NodeManager heartbeats arrive from every responsive node;
+  // a node whose last heartbeat is older than the liveness timeout is
+  // declared lost. This is the only detection path for *silent* crashes —
+  // until it fires, the node's frozen tasks look like slow stragglers.
+  if (injector_) {
+    const SimTime now = sim_->now();
+    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+      if (failed_nodes_.count(node) > 0) continue;
+      if (injector_->responsive(node)) {
+        rm_.record_heartbeat(node, now);
+      } else if (now - rm_.last_heartbeat(node) >=
+                 plan_.node_liveness_timeout_s - 1e-9) {
+        fail_node(node);
+      }
+    }
+    if (done_) return;  // detection may have aborted the job
+  }
+
   // Per node: average the Eq. 3 IPS samples of this round — completions
   // since the last round plus containers that have been running for at
   // least a full heartbeat period (younger containers are still dominated
@@ -552,6 +662,9 @@ void JobDriver::heartbeat() {
   std::vector<std::uint32_t> cnt(cluster_->num_nodes(), 0);
   for (const auto& task : map_tasks_) {
     if (task->phase != TaskPhase::kComputing) continue;
+    // A silently-dead node reports nothing; its frozen containers keep
+    // their last known progress but produce no fresh samples.
+    if (silent_nodes_.count(task->node) > 0) continue;
     const SimDuration computing = sim_->now() - task->compute_start;
     if (computing < params_.heartbeat_period_s) continue;
     const MiB read = task->integrator->done(sim_->now());
@@ -574,9 +687,12 @@ void JobDriver::heartbeat() {
   rm_.offer_all();
 
   // Deadlock guard: unprocessed input, nothing running, and every slot
-  // declined means the scheduler wedged itself.
+  // declined means the scheduler wedged itself. A cluster with zero live
+  // slots is excluded — that is not a scheduler wedge but a fault state
+  // (either a rejoin is pending or fail_node already aborted the job).
   if (!map_phase_done_ && running_map_count_ == 0 &&
-      index_.unprocessed() > 0 && rm_.total_free() == rm_.total_slots()) {
+      index_.unprocessed() > 0 && rm_.total_slots() > 0 &&
+      rm_.total_free() == rm_.total_slots()) {
     throw InvariantError("scheduler declined all slots with work pending");
   }
 
@@ -589,8 +705,30 @@ void JobDriver::heartbeat() {
 
 void JobDriver::schedule_node_failure(NodeId node, SimTime time) {
   FLEXMR_ASSERT_MSG(!started_, "schedule failures before run()");
-  FLEXMR_ASSERT(node < cluster_->num_nodes());
+  if (node >= cluster_->num_nodes()) {
+    throw ConfigError("node failure names node " + std::to_string(node) +
+                      " but the cluster has " +
+                      std::to_string(cluster_->num_nodes()) + " nodes");
+  }
+  if (time < 0.0) {
+    throw ConfigError("node failure of node " + std::to_string(node) +
+                      " at negative time " + std::to_string(time));
+  }
   planned_failures_.emplace_back(node, time);
+}
+
+void JobDriver::install_faults(faults::FaultPlan plan) {
+  FLEXMR_ASSERT_MSG(!started_, "install faults before run()");
+  FLEXMR_ASSERT_MSG(owned_rm_ != nullptr,
+                    "install_faults is for single-job mode (a shared-RM "
+                    "coordinator owns cluster-level fault state)");
+  plan_ = std::move(plan);
+}
+
+void JobDriver::record_fault(faults::FaultEventType type, NodeId node,
+                             TaskId task, std::uint32_t attempts) {
+  result_.fault_events.push_back(
+      faults::FaultEvent{sim_->now(), type, node, task, attempts});
 }
 
 void JobDriver::fail_node(NodeId node) {
@@ -599,11 +737,13 @@ void JobDriver::fail_node(NodeId node) {
   // job's tasks there still need cleaning up.
   if (done_ || failed_nodes_.count(node) > 0) return;
   failed_nodes_.insert(node);
-  if (!rm_.is_dead(node)) {
-    FLEXMR_ASSERT_MSG(rm_.total_slots() > cluster_->machine(node).slots(),
-                      "cannot fail the last alive node");
-    rm_.mark_dead(node);
-  }
+  silent_nodes_.erase(node);
+  if (!rm_.is_dead(node)) rm_.mark_dead(node);
+  record_fault(faults::FaultEventType::kDetected, node);
+  // Pre-crash speed estimates describe a gone incarnation; a rejoined
+  // node must be re-measured from scratch.
+  round_ips_[node].reset();
+  pending_ips_samples_[node].clear();
 
   std::vector<BlockUnitId> reclaimed;
 
@@ -629,10 +769,16 @@ void JobDriver::fail_node(NodeId node) {
       twin.twin = kInvalidTask;
       task.twin = kInvalidTask;
       if (twin_survives) {
-        task.bus.clear();  // the twin covers this work now
-      } else if (!task.speculative) {
-        // Both copies die on this node; the original returns the BUs
-        // (the copy's list is a duplicate and must not be put back too).
+        // The twin covers this work now — and inherits the duty of
+        // returning the BUs should it die too.
+        if (task.owns_bus) {
+          twin.owns_bus = true;
+          task.owns_bus = false;
+        }
+        task.bus.clear();
+      } else if (task.owns_bus) {
+        // Both copies die on this node; the owner returns the BUs (the
+        // other list is a duplicate and must not be put back too).
         index_.put_back(task.bus);
         reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
         task.bus.clear();
@@ -640,13 +786,13 @@ void JobDriver::fail_node(NodeId node) {
       } else {
         task.bus.clear();
       }
-    } else if (!task.speculative) {
+    } else if (task.owns_bus) {
       index_.put_back(task.bus);
       reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
       task.bus.clear();
       task.size = 0;
     } else {
-      task.bus.clear();  // orphaned copy: duplicate of the original's list
+      task.bus.clear();  // non-owning copy: duplicate of the owner's list
     }
   }
 
@@ -675,9 +821,11 @@ void JobDriver::fail_node(NodeId node) {
     intermediate_on_node_[node] = 0.0;
   }
 
-  // 3. Reduce phase: re-queue the node's running reducers. (Map-output
-  //    loss after the shuffle has started is not modeled — re-dispatched
-  //    reducers refetch as if the outputs survived; see header.)
+  // 3. Reduce phase: re-queue the node's running reducers, then handle
+  //    map-output loss after the shuffle has started — reducers that have
+  //    not finished fetching still need the dead node's intermediate
+  //    data, so the map phase re-opens for exactly those inputs while
+  //    reducers that already hold all their data keep computing.
   if (map_phase_done_) {
     for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
       ReduceTask& task = *reduce_tasks_[idx];
@@ -693,27 +841,286 @@ void JobDriver::fail_node(NodeId node) {
       --running_reduce_count_;
       reduce_requeue_.push_back(idx);
     }
+
+    if (!job_.map_only() && intermediate_on_node_[node] > 0) {
+      bool outputs_needed = false;
+      for (const auto& owned : reduce_tasks_) {
+        const TaskPhase phase = owned->phase;
+        if (phase == TaskPhase::kStarting || phase == TaskPhase::kFetching) {
+          outputs_needed = true;
+          break;
+        }
+      }
+      if (outputs_needed) {
+        // Close the reduce pipeline first so the slot releases below flow
+        // back into map dispatch, then stall every pre-compute reducer on
+        // a surviving node: their fetches cannot finish without the lost
+        // outputs.
+        map_phase_done_ = false;
+        reduce_ready_ = false;
+        for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
+          ReduceTask& task = *reduce_tasks_[idx];
+          if (task.node == kInvalidNode) continue;  // queued or re-queued
+          if (task.phase != TaskPhase::kStarting &&
+              task.phase != TaskPhase::kFetching) {
+            continue;
+          }
+          if (task.pending_event != kInvalidEvent) {
+            sim_->cancel(task.pending_event);
+            task.pending_event = kInvalidEvent;
+          }
+          const NodeId host = task.node;
+          task.node = kInvalidNode;
+          task.phase = TaskPhase::kStarting;
+          task.integrator.reset();
+          --running_reduce_count_;
+          reduce_requeue_.push_back(idx);
+          rm_.release(host);
+        }
+        // Re-open the map phase for the dead node's credited maps (same
+        // recovery as the pre-shuffle case).
+        for (auto& owned : map_tasks_) {
+          MapTask& task = *owned;
+          if (task.node != node || !task.credited || task.output_lost) {
+            continue;
+          }
+          task.output_lost = true;
+          task.credited = false;
+          processed_bus_ -= task.bus.size();
+          index_.put_back(task.bus);
+          reclaimed.insert(reclaimed.end(), task.bus.begin(),
+                           task.bus.end());
+          for (auto it = result_.tasks.rbegin(); it != result_.tasks.rend();
+               ++it) {
+            if (it->id == task.id && it->kind == TaskKind::kMap) {
+              it->status = TaskStatus::kLostOutput;
+              it->num_bus = 0;
+              break;
+            }
+          }
+          task.bus.clear();
+        }
+        intermediate_on_node_[node] = 0.0;
+      }
+    }
   }
 
   scheduler_->on_node_failed(*this, node, reclaimed);
+  if (rm_.total_slots() == 0 &&
+      (!injector_ || !injector_->rejoin_pending())) {
+    abort_job("every node in the cluster failed");
+    return;
+  }
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();
   });
 }
 
+void JobDriver::on_node_silent(NodeId node) {
+  if (done_ || failed_nodes_.count(node) > 0) return;
+  silent_nodes_.insert(node);
+  // The node's processes are gone but the AM does not know yet: freeze
+  // every in-flight container there. Progress stops (rate 0) and pending
+  // completion/startup events are cancelled — from the AM's perspective
+  // the tasks have simply stopped reporting. Heartbeat expiry (or the
+  // node's own re-registration) later turns this into a detected loss.
+  for (auto& owned : map_tasks_) {
+    MapTask& task = *owned;
+    if (task.node != node || task.phase == TaskPhase::kDone) continue;
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
+  }
+  for (auto& owned : reduce_tasks_) {
+    ReduceTask& task = *owned;
+    if (task.node != node || task.phase == TaskPhase::kDone) continue;
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
+  }
+}
+
+void JobDriver::on_node_rejoin(NodeId node) {
+  if (done_) return;
+  // A crash the AM never detected (the node came back inside the liveness
+  // window) is reconciled at re-registration: the RM learns the old
+  // containers died, so the standard loss path runs first.
+  if (silent_nodes_.count(node) > 0 && failed_nodes_.count(node) == 0) {
+    fail_node(node);
+  }
+  if (done_ || failed_nodes_.count(node) == 0) return;
+  failed_nodes_.erase(node);
+  rm_.mark_alive(node);
+  rm_.record_heartbeat(node, sim_->now());
+  round_ips_[node].reset();
+  pending_ips_samples_[node].clear();
+  record_fault(faults::FaultEventType::kRejoin, node);
+  scheduler_->on_node_recovered(*this, node);
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+}
+
+void JobDriver::map_attempt_fail(TaskId id) {
+  MapTask& task = *map_tasks_[id];
+  FLEXMR_ASSERT(task.phase != TaskPhase::kDone);
+  task.pending_event = kInvalidEvent;  // the failure event itself fired
+  task.phase = TaskPhase::kDone;
+  --running_map_count_;
+
+  const NodeId node = task.node;
+  const bool launch_failure = task.planned_fault == PlannedFault::kLaunchFail;
+  const MiB consumed =
+      task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+  record_map(task, TaskStatus::kFailed, consumed, 0);
+
+  std::vector<BlockUnitId> reclaimed;
+  std::uint32_t worst_attempts = 0;
+  BlockUnitId worst_bu = 0;
+  if (task.twin != kInvalidTask) {
+    // The surviving twin covers this work; the failure costs nothing but
+    // the dead attempt's slot time. BU ownership moves to the twin.
+    MapTask& twin = *map_tasks_[task.twin];
+    twin.twin = kInvalidTask;
+    task.twin = kInvalidTask;
+    if (task.owns_bus) {
+      twin.owns_bus = true;
+      task.owns_bus = false;
+    }
+    task.bus.clear();
+  } else if (task.owns_bus) {
+    for (const BlockUnitId bu : task.bus) {
+      const std::uint32_t attempts = ++bu_attempt_failures_[bu];
+      if (attempts > worst_attempts) {
+        worst_attempts = attempts;
+        worst_bu = bu;
+      }
+    }
+    index_.put_back(task.bus);
+    reclaimed = std::move(task.bus);
+    task.bus.clear();
+    task.size = 0;
+  } else {
+    task.bus.clear();  // non-owning copy: duplicate of the owner's list
+  }
+
+  record_fault(launch_failure ? faults::FaultEventType::kLaunchFailure
+                              : faults::FaultEventType::kAttemptFailure,
+               node, id, worst_attempts);
+  note_node_attempt_failure(node);
+  if (worst_attempts >= plan_.max_attempts) {
+    abort_job("map input unit " + std::to_string(worst_bu) + " failed " +
+              std::to_string(worst_attempts) + " attempts");
+  }
+  if (!done_) scheduler_->on_attempt_failed(*this, node, reclaimed);
+  rm_.release(node);
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+}
+
+void JobDriver::reduce_attempt_fail(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  FLEXMR_ASSERT(task.phase != TaskPhase::kDone);
+  task.pending_event = kInvalidEvent;
+
+  const NodeId node = task.node;
+  const bool launch_failure = task.planned_fault == PlannedFault::kLaunchFail;
+  const MiB consumed =
+      task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+
+  TaskRecord rec;
+  rec.id = task.id;
+  rec.node = node;
+  rec.kind = TaskKind::kReduce;
+  rec.status = TaskStatus::kFailed;
+  rec.dispatch_time = task.dispatch_time;
+  rec.compute_start = task.compute_start;
+  rec.end_time = sim_->now();
+  rec.input_mib = consumed;
+  rec.phase_progress_at_end = 1.0;
+  result_.tasks.push_back(rec);
+
+  --running_reduce_count_;
+  task.node = kInvalidNode;
+  task.phase = TaskPhase::kStarting;
+  task.integrator.reset();
+  task.compute_start = 0;
+  task.planned_fault = PlannedFault::kNone;
+  task.fail_frac = 0;
+  reduce_requeue_.push_back(idx);
+
+  const std::uint32_t attempts = ++reduce_attempt_failures_[idx];
+  record_fault(launch_failure ? faults::FaultEventType::kLaunchFailure
+                              : faults::FaultEventType::kAttemptFailure,
+               node, rec.id, attempts);
+  note_node_attempt_failure(node);
+  if (attempts >= plan_.max_attempts) {
+    abort_job("reduce task " + std::to_string(rec.id) + " failed " +
+              std::to_string(attempts) + " attempts");
+  }
+  rm_.release(node);
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+}
+
+void JobDriver::note_node_attempt_failure(NodeId node) {
+  ++node_failed_attempts_[node];
+  if (blacklisted_[node] == 0 &&
+      node_failed_attempts_[node] >= plan_.blacklist_threshold) {
+    blacklisted_[node] = 1;
+    record_fault(faults::FaultEventType::kBlacklist, node, kInvalidTask,
+                 node_failed_attempts_[node]);
+  }
+}
+
+bool JobDriver::blacklist_saturated() const {
+  // Hadoop's ignore-threshold compares the blacklist against the live
+  // cluster: once too many of the surviving nodes are blacklisted the AM
+  // ignores the list entirely rather than starve itself.
+  std::uint32_t blacklisted = 0;
+  std::uint32_t alive = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(blacklisted_.size()); ++n) {
+    if (failed_nodes_.count(n) > 0) continue;
+    ++alive;
+    if (blacklisted_[n] != 0) ++blacklisted;
+  }
+  return alive == 0 ||
+         static_cast<double>(blacklisted) >
+             plan_.blacklist_ignore_fraction * static_cast<double>(alive);
+}
+
+void JobDriver::abort_job(const std::string& reason) {
+  if (done_) return;
+  record_fault(faults::FaultEventType::kAbort, kInvalidNode);
+  result_.aborted = true;
+  result_.abort_reason = reason;
+  finish_job();
+}
+
 void JobDriver::on_speed_change(NodeId node) {
   // The cluster keeps changing speeds after this job finished (shared
-  // simulations); a finished job has nothing left to re-rate.
-  if (done_) return;
+  // simulations); a finished job has nothing left to re-rate. Tasks on a
+  // silently-dead node are frozen at rate 0 and must not be re-rated.
+  if (done_ || silent_nodes_.count(node) > 0) return;
   for (auto& task : map_tasks_) {
     if (task->node != node || task->phase != TaskPhase::kComputing) continue;
     task->integrator->set_rate(sim_->now(), map_rate(*task));
+    // A doomed attempt dies at its pre-drawn wall-clock moment; only the
+    // progress it wastes is re-rated, not the death itself.
+    if (task->planned_fault == PlannedFault::kAttemptFail) continue;
     reschedule_map_completion(*task);
   }
   for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
     ReduceTask& task = *reduce_tasks_[idx];
     if (task.node != node || task.phase != TaskPhase::kComputing) continue;
     task.integrator->set_rate(sim_->now(), reduce_rate(task));
+    if (task.planned_fault == PlannedFault::kAttemptFail) continue;
     if (task.pending_event != kInvalidEvent) {
       sim_->cancel(task.pending_event);
     }

@@ -26,6 +26,8 @@
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "hdfs/block_index.hpp"
 #include "mr/job.hpp"
 #include "mr/metrics.hpp"
@@ -80,14 +82,26 @@ class JobDriver final : public DriverContext {
                                       running_reduce_count_);
   }
 
-  /// Failure injection: node `node` dies at absolute sim time `time`.
-  /// Must be called before run(). Semantics: the node's containers are
-  /// killed, its slots withdrawn, and — unless the job is map-only or the
-  /// shuffle already started — the *input* of every map whose output
-  /// lived on the node is re-executed elsewhere (the standard MapReduce
-  /// recovery path). Output loss after the shuffle has started is not
-  /// modeled: re-queued reducers refetch as if map outputs survived.
+  /// Legacy failure injection: node `node` dies at absolute sim time
+  /// `time`, with *oracle* (instant) detection — equivalent to a
+  /// FaultPlan crash with silent=false and no rejoin. Must be called
+  /// before run(); throws ConfigError on an out-of-range node or a
+  /// negative time. Semantics on detection: the node's containers are
+  /// killed, its slots withdrawn, and the *input* of every map whose
+  /// output lived on the node is re-executed elsewhere (the standard
+  /// MapReduce recovery path). If the shuffle has already started and
+  /// some reducer still needs the lost outputs, the map phase re-opens
+  /// for those inputs and pre-compute reducers stall until the outputs
+  /// are regenerated.
   void schedule_node_failure(NodeId node, SimTime time);
+
+  /// Installs the run's declarative fault plan (crashes with optional
+  /// rejoin, silent death with heartbeat-expiry detection, degradation
+  /// windows, per-attempt transient/launch failures, retry/blacklist
+  /// knobs). Must be called before run(); single-job mode only. The plan
+  /// is validated (ConfigError) at start(). Legacy schedule_node_failure
+  /// entries are merged in as non-silent crashes.
+  void install_faults(faults::FaultPlan plan);
 
   // --- DriverContext ---
   SimTime now() const override { return sim_->now(); }
@@ -133,10 +147,19 @@ class JobDriver final : public DriverContext {
   bool node_alive(NodeId node) const override {
     return !rm_.is_dead(node);
   }
+  bool node_blacklisted(NodeId node) const override {
+    return !blacklisted_.empty() && blacklisted_[node] != 0 &&
+           !blacklist_saturated();
+  }
   std::vector<BlockUnitId> kill_and_reclaim(TaskId task) override;
 
  private:
   enum class TaskPhase { kStarting, kFetching, kComputing, kDone };
+
+  /// Attempt-level fate drawn at dispatch from the fault injector: the
+  /// container launch fails during startup, or the attempt dies a
+  /// fraction of the way through its compute.
+  enum class PlannedFault { kNone, kLaunchFail, kAttemptFail };
 
   struct MapTask {
     TaskId id = 0;
@@ -149,12 +172,20 @@ class JobDriver final : public DriverContext {
     TaskId twin = kInvalidTask;  ///< Original/copy counterpart, if any.
     bool credited = false;       ///< Completed (or partial) and counted.
     bool output_lost = false;    ///< Host failed; input was re-queued.
+    /// Exactly one task of an original/copy pair owns the BU list (both
+    /// hold duplicates): the owner returns it to the index if the work
+    /// dies. Ownership transfers to a surviving twin when the owner is
+    /// killed — without the transfer, a second failure hitting the twin
+    /// would silently drop the BUs (exactly-once violation).
+    bool owns_bus = true;
     /// Per-attempt execution-time multiplier (GC pauses, I/O variance —
     /// lognormal with unit mean). Twins draw independently.
     double exec_noise = 1.0;
     SimTime dispatch_time = 0;
     SimTime compute_start = 0;
     TaskPhase phase = TaskPhase::kStarting;
+    PlannedFault planned_fault = PlannedFault::kNone;
+    double fail_frac = 0;        ///< Compute fraction at which it dies.
     std::optional<RateIntegrator> integrator;
     EventId pending_event = kInvalidEvent;
   };
@@ -169,6 +200,8 @@ class JobDriver final : public DriverContext {
     SimTime dispatch_time = 0;
     SimTime compute_start = 0;
     TaskPhase phase = TaskPhase::kStarting;
+    PlannedFault planned_fault = PlannedFault::kNone;
+    double fail_frac = 0;
     std::optional<RateIntegrator> integrator;
     EventId pending_event = kInvalidEvent;
   };
@@ -190,7 +223,21 @@ class JobDriver final : public DriverContext {
 
   void heartbeat();
   void on_speed_change(NodeId node);
+
+  // Fault machinery. fail_node is the *detection* path (oracle crash,
+  // heartbeat expiry, or re-registration resync); on_node_silent is the
+  // ground-truth crash of a node the AM has not noticed yet.
   void fail_node(NodeId node);
+  void on_node_silent(NodeId node);
+  void on_node_rejoin(NodeId node);
+  void map_attempt_fail(TaskId id);
+  void reduce_attempt_fail(std::size_t idx);
+  void note_node_attempt_failure(NodeId node);
+  bool blacklist_saturated() const;
+  void abort_job(const std::string& reason);
+  void record_fault(faults::FaultEventType type, NodeId node,
+                    TaskId task = kInvalidTask, std::uint32_t attempts = 0);
+
   double map_rate(const MapTask& task) const;
   double reduce_rate(const ReduceTask& task) const;
   void reschedule_map_completion(MapTask& task);
@@ -233,6 +280,20 @@ class JobDriver final : public DriverContext {
   bool reduce_force_dispatch_ = false;
   std::vector<std::size_t> reduce_requeue_;  ///< Reducers lost to failures.
   std::vector<std::pair<NodeId, SimTime>> planned_failures_;
+  /// Fault plan installed before start(); merged with planned_failures_
+  /// and validated at start(). Empty plan == no fault machinery at all.
+  faults::FaultPlan plan_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  /// Nodes that are dead (ground truth) but not yet declared lost by the
+  /// AM: their tasks are frozen, their heartbeats stopped.
+  std::set<NodeId> silent_nodes_;
+  /// Transient-failure counts per map BU / per reduce task; hitting
+  /// FaultPlan::max_attempts aborts the job.
+  std::vector<std::uint32_t> bu_attempt_failures_;
+  std::vector<std::uint32_t> reduce_attempt_failures_;
+  /// Failed attempts per node, and the AM blacklist they feed.
+  std::vector<std::uint32_t> node_failed_attempts_;
+  std::vector<char> blacklisted_;
   /// Per-node speed-listener handles registered in start(), removed in the
   /// destructor (node == index).
   std::vector<cluster::Machine::SpeedListenerId> speed_listener_ids_;

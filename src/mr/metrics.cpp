@@ -12,6 +12,7 @@ const char* to_string(TaskStatus status) {
     case TaskStatus::kPartialCompleted: return "partial";
     case TaskStatus::kKilled: return "killed";
     case TaskStatus::kLostOutput: return "lost-output";
+    case TaskStatus::kFailed: return "failed";
   }
   return "?";
 }
@@ -63,7 +64,8 @@ SimDuration JobResult::wasted_slot_time() const {
   SimDuration total = 0;
   for (const auto& task : tasks) {
     if (task.status == TaskStatus::kKilled ||
-        task.status == TaskStatus::kLostOutput) {
+        task.status == TaskStatus::kLostOutput ||
+        task.status == TaskStatus::kFailed) {
       total += task.total_runtime();
     }
   }

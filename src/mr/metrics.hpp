@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace flexmr::mr {
 
@@ -32,9 +34,12 @@ enum class TaskStatus {
                       ///< running on a node when it failed).
   kLostOutput,        ///< Completed, but its host node failed before the
                       ///< output was consumed; the input re-executes.
+  kFailed,            ///< Attempt died (launch failure, JVM crash); the
+                      ///< work retries up to FaultPlan::max_attempts.
 };
 
-/// Stable wire names ("completed"/"partial"/"killed"/"lost-output").
+/// Stable wire names ("completed"/"partial"/"killed"/"lost-output"/
+/// "failed").
 const char* to_string(TaskStatus status);
 
 struct TaskRecord {
@@ -78,6 +83,20 @@ struct JobResult {
   std::string benchmark;
   std::string scheduler;
   std::uint32_t total_slots = 0;
+  /// The run's RNG seed, echoed for reproducibility of fault sweeps.
+  std::uint64_t seed = 0;
+
+  /// Set when the job could not finish (max_attempts exceeded, whole
+  /// cluster permanently lost). An aborted result still carries every
+  /// task record and fault event up to the abort.
+  bool aborted = false;
+  std::string abort_reason;
+
+  /// The fault plan in force (empty plan when no faults were injected).
+  faults::FaultPlan fault_plan;
+  /// Chronological fault timeline: crashes, detections, rejoins, attempt
+  /// failures, blacklistings, abort.
+  std::vector<faults::FaultEvent> fault_events;
 
   SimTime submit_time = 0;
   SimTime map_phase_start = 0;  ///< First map container dispatch.
@@ -115,6 +134,22 @@ struct JobResult {
 
   std::size_t count(TaskKind kind, TaskStatus status) const;
   std::size_t map_tasks_launched() const;
+};
+
+/// Thrown by JobDriver::run when the job aborts instead of completing
+/// (a unit of work exceeded max_attempts, or every node died with no
+/// rejoin pending). Carries the partial JobResult so callers can still
+/// inspect the task records and fault timeline of the doomed run.
+class JobAbortedError : public std::runtime_error {
+ public:
+  JobAbortedError(const std::string& reason, JobResult result)
+      : std::runtime_error("job aborted: " + reason),
+        result_(std::move(result)) {}
+
+  const JobResult& result() const { return result_; }
+
+ private:
+  JobResult result_;
 };
 
 }  // namespace flexmr::mr

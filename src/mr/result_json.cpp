@@ -1,5 +1,6 @@
 #include "mr/result_json.hpp"
 
+#include "faults/fault_plan.hpp"
 #include "mr/analysis.hpp"
 
 namespace flexmr::mr {
@@ -11,6 +12,9 @@ void write_job_result(JsonWriter& writer, const JobResult& result,
   writer.field("benchmark", result.benchmark);
   writer.field("scheduler", result.scheduler);
   writer.field("total_slots", result.total_slots);
+  writer.field("seed", result.seed);
+  writer.field("aborted", result.aborted);
+  if (result.aborted) writer.field("abort_reason", result.abort_reason);
 
   writer.key("times").begin_object();
   writer.field("submit", result.submit_time);
@@ -55,6 +59,14 @@ void write_job_result(JsonWriter& writer, const JobResult& result,
       writer.field("utilization", node.utilization(span));
     }
     writer.end_object();
+  }
+  writer.end_array();
+
+  writer.key("fault_plan");
+  faults::write_fault_plan(writer, result.fault_plan);
+  writer.key("fault_events").begin_array();
+  for (const auto& event : result.fault_events) {
+    faults::write_fault_event(writer, event);
   }
   writer.end_array();
 

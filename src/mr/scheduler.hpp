@@ -104,7 +104,17 @@ class DriverContext {
 
   /// False once `node` has failed (failure injection); a dead node is
   /// never offered and holds no unprocessed replicas worth chasing.
+  /// A rejoined node is alive again.
   virtual bool node_alive(NodeId node) const = 0;
+
+  /// True while the AM has blacklisted `node` (too many failed attempts
+  /// there). Blacklisted nodes are not offered; schedulers can use this
+  /// to avoid planning work for them. Default false: the base simulator
+  /// has no blacklist.
+  virtual bool node_blacklisted(NodeId node) const {
+    (void)node;
+    return false;
+  }
 
   /// Stops a running map task (SkewTune mitigation). Its consumed BU
   /// prefix is credited as PartialCompleted; the unread suffix is returned
@@ -155,6 +165,27 @@ class Scheduler {
     (void)ctx;
     (void)node;
     (void)reclaimed;
+  }
+
+  /// A single map attempt on `node` died (container-launch failure or
+  /// transient JVM crash); the node itself is still alive. `reclaimed`
+  /// BUs were returned to the index and will be retried (up to
+  /// max_attempts). Like on_node_failed, bookkeeping schedulers must
+  /// fold them back into their pending-work structures.
+  virtual void on_attempt_failed(DriverContext& ctx, NodeId node,
+                                 const std::vector<BlockUnitId>& reclaimed) {
+    (void)ctx;
+    (void)node;
+    (void)reclaimed;
+  }
+
+  /// A previously-failed `node` re-registered with the RM: its slots are
+  /// restored and it is about to be offered again. Any speed estimate or
+  /// per-node pacing state from before the crash belongs to the old
+  /// incarnation and should be discarded.
+  virtual void on_node_recovered(DriverContext& ctx, NodeId node) {
+    (void)ctx;
+    (void)node;
   }
 
   /// During the reduce phase a container freed on `node` is offered for

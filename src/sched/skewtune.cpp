@@ -36,6 +36,17 @@ void SkewTuneScheduler::on_node_failed(
   if (!loose.empty()) chunks_.push_back(std::move(loose));
 }
 
+void SkewTuneScheduler::on_attempt_failed(
+    mr::DriverContext& ctx, NodeId node,
+    const std::vector<BlockUnitId>& reclaimed) {
+  StockHadoopScheduler::on_attempt_failed(ctx, node, reclaimed);
+  std::vector<BlockUnitId> loose;
+  for (const BlockUnitId bu : reclaimed) {
+    if (block_launched(ctx.layout().bus[bu].block)) loose.push_back(bu);
+  }
+  if (!loose.empty()) chunks_.push_back(std::move(loose));
+}
+
 TaskId SkewTuneScheduler::find_straggler(mr::DriverContext& ctx) const {
   const SimTime now = ctx.now();
   TaskId best = kInvalidTask;

@@ -53,6 +53,10 @@ class SkewTuneScheduler final : public StockHadoopScheduler {
   /// blocks (a mitigated straggler's prefix died) become one repair chunk.
   void on_node_failed(mr::DriverContext& ctx, NodeId node,
                       const std::vector<BlockUnitId>& reclaimed) override;
+  /// Same split for a transient attempt failure: whole blocks re-pend,
+  /// loose BUs (a failed mitigation chunk) re-enter the chunk queue.
+  void on_attempt_failed(mr::DriverContext& ctx, NodeId node,
+                         const std::vector<BlockUnitId>& reclaimed) override;
 
  private:
   /// Picks the straggler to mitigate; returns kInvalidTask if none is

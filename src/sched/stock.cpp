@@ -148,6 +148,26 @@ void StockHadoopScheduler::on_node_failed(
     mr::DriverContext& ctx, NodeId node,
     const std::vector<BlockUnitId>& reclaimed) {
   (void)node;
+  repend_reclaimed(ctx, reclaimed);
+}
+
+void StockHadoopScheduler::on_attempt_failed(
+    mr::DriverContext& ctx, NodeId node,
+    const std::vector<BlockUnitId>& reclaimed) {
+  (void)node;
+  repend_reclaimed(ctx, reclaimed);
+}
+
+void StockHadoopScheduler::on_node_recovered(mr::DriverContext& ctx,
+                                             NodeId node) {
+  (void)ctx;
+  node_cursor_[node] = 0;
+  global_cursor_ = 0;
+  remote_wait_since_[node] = -1.0;
+}
+
+void StockHadoopScheduler::repend_reclaimed(
+    mr::DriverContext& ctx, const std::vector<BlockUnitId>& reclaimed) {
   const auto& layout = ctx.layout();
   std::set<std::uint32_t> blocks;
   for (const BlockUnitId bu : reclaimed) {

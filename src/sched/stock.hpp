@@ -64,6 +64,13 @@ class StockHadoopScheduler : public mr::Scheduler {
   /// failure (one map per block: a block re-runs whole or not at all).
   void on_node_failed(mr::DriverContext& ctx, NodeId node,
                       const std::vector<BlockUnitId>& reclaimed) override;
+  /// Same re-pend for a single failed attempt (transient JVM/launch
+  /// failure): its whole block returns to the pending pool for retry.
+  void on_attempt_failed(mr::DriverContext& ctx, NodeId node,
+                         const std::vector<BlockUnitId>& reclaimed) override;
+  /// A rejoined node's local blocks become attractive again: rewind the
+  /// dispatch cursors so locality-first scanning reconsiders them.
+  void on_node_recovered(mr::DriverContext& ctx, NodeId node) override;
 
  protected:
   /// Whether block `block_id` currently has a launched map bound to it.
@@ -81,6 +88,11 @@ class StockHadoopScheduler : public mr::Scheduler {
   std::size_t pending_blocks() const { return pending_count_; }
 
  private:
+  /// Shared failure cleanup: re-pend fully-freed blocks and rewind the
+  /// scan cursors (re-pended blocks may sit behind them).
+  void repend_reclaimed(mr::DriverContext& ctx,
+                        const std::vector<BlockUnitId>& reclaimed);
+
   StockOptions options_;
   std::vector<char> block_launched_;
   std::vector<std::vector<std::uint32_t>> node_local_blocks_;

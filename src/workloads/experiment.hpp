@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "faults/fault_plan.hpp"
 #include "flexmap/flexmap_scheduler.hpp"
 #include "mr/driver.hpp"
 #include "mr/metrics.hpp"
@@ -40,7 +41,11 @@ struct RunConfig {
   std::uint32_t replication = 3;
   mr::SimParams params;  ///< params.seed controls the whole run.
   /// Failure injection: (node, time) pairs applied before the run starts.
+  /// Legacy oracle-detected crashes; merged into `faults` by the driver.
   std::vector<std::pair<NodeId, SimTime>> node_failures;
+  /// Declarative fault plan (crashes with rejoin, transient attempt
+  /// failures, launch failures, degradation windows). Empty = no faults.
+  faults::FaultPlan faults;
 };
 
 /// Runs one job on `cluster` (which is reset first) and returns its

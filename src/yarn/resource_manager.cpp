@@ -3,7 +3,8 @@
 namespace flexmr::yarn {
 
 ResourceManager::ResourceManager(const cluster::Cluster& cluster)
-    : dead_(cluster.num_nodes(), 0) {
+    : dead_(cluster.num_nodes(), 0),
+      last_heartbeat_(cluster.num_nodes(), 0.0) {
   free_.reserve(cluster.num_nodes());
   capacity_.reserve(cluster.num_nodes());
   for (NodeId node = 0; node < cluster.num_nodes(); ++node) {
@@ -38,6 +39,14 @@ void ResourceManager::mark_dead(NodeId node) {
   dead_[node] = 1;
   free_[node] = 0;
   total_slots_ -= capacity_[node];
+}
+
+void ResourceManager::mark_alive(NodeId node) {
+  FLEXMR_ASSERT(node < free_.size());
+  if (!dead_[node]) return;
+  dead_[node] = 0;
+  free_[node] = capacity_[node];
+  total_slots_ += capacity_[node];
 }
 
 void ResourceManager::offer_node(NodeId node) {

@@ -53,14 +53,33 @@ class ResourceManager {
   void offer_node(NodeId node);
 
   /// Marks a node as failed: its slots are withdrawn, future releases for
-  /// it are ignored, and it is never offered again.
+  /// it are ignored, and it is never offered again (until mark_alive).
   void mark_dead(NodeId node);
   bool is_dead(NodeId node) const { return dead_[node] != 0; }
+
+  /// Node re-registration (a crashed node rejoining the cluster): restores
+  /// the node's full slot capacity — its previous containers died with it
+  /// — and resumes offering it. No-op on a node that is not dead.
+  void mark_alive(NodeId node);
+
+  /// NodeManager → RM liveness tracking. The heartbeat generator records
+  /// arrivals here; the AM/driver compares `last_heartbeat` against its
+  /// liveness timeout to declare silent nodes lost. Nodes start with a
+  /// heartbeat at registration time (construction: 0).
+  void record_heartbeat(NodeId node, SimTime now) {
+    FLEXMR_ASSERT(node < last_heartbeat_.size());
+    last_heartbeat_[node] = now;
+  }
+  SimTime last_heartbeat(NodeId node) const {
+    FLEXMR_ASSERT(node < last_heartbeat_.size());
+    return last_heartbeat_[node];
+  }
 
  private:
   std::vector<std::uint32_t> free_;
   std::vector<std::uint32_t> capacity_;  ///< Original slots per node.
   std::vector<char> dead_;
+  std::vector<SimTime> last_heartbeat_;
   std::uint32_t total_slots_ = 0;
   OfferHandler handler_;
   bool offering_ = false;  ///< Guards against re-entrant offer cascades.
