@@ -4,22 +4,15 @@
 
 namespace flexmr::flexmap {
 
-std::optional<MiBps> SpeedMonitor::slowest() const {
-  std::optional<MiBps> result;
+void SpeedMonitor::rescan() const {
+  slowest_.reset();
+  fastest_.reset();
   for (const auto& speed : speeds_) {
     if (!speed) continue;
-    if (!result || *speed < *result) result = speed;
+    if (!slowest_ || *speed < *slowest_) slowest_ = speed;
+    if (!fastest_ || *speed > *fastest_) fastest_ = speed;
   }
-  return result;
-}
-
-std::optional<MiBps> SpeedMonitor::fastest() const {
-  std::optional<MiBps> result;
-  for (const auto& speed : speeds_) {
-    if (!speed) continue;
-    if (!result || *speed > *result) result = speed;
-  }
-  return result;
+  dirty_ = false;
 }
 
 double SpeedMonitor::relative_speed(NodeId node) const {
@@ -34,14 +27,6 @@ double SpeedMonitor::capacity(NodeId node) const {
   const auto high = fastest();
   if (!own || !high || *high <= 0.0) return 1.0;
   return std::clamp(*own / *high, 1e-6, 1.0);
-}
-
-std::size_t SpeedMonitor::known_nodes() const {
-  std::size_t n = 0;
-  for (const auto& speed : speeds_) {
-    if (speed) ++n;
-  }
-  return n;
 }
 
 }  // namespace flexmr::flexmap

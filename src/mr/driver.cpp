@@ -232,6 +232,8 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
 
   ++running_map_count_;
   map_tasks_.push_back(std::move(task));
+  live_map_ids_.push_back(id);  // ids are dispatch-ordered, so this stays
+                                // ascending without a sort
   scheduler_->on_map_dispatch(*this, id, node);
 }
 
@@ -658,27 +660,38 @@ void JobDriver::heartbeat() {
   // least a full heartbeat period (younger containers are still dominated
   // by startup and report nothing useful yet). The previous estimate is
   // retained when a node produced no sample this round.
-  std::vector<double> sum(cluster_->num_nodes(), 0.0);
-  std::vector<std::uint32_t> cnt(cluster_->num_nodes(), 0);
-  for (const auto& task : map_tasks_) {
-    if (task->phase != TaskPhase::kComputing) continue;
+  hb_ips_sum_.assign(cluster_->num_nodes(), 0.0);
+  hb_ips_cnt_.assign(cluster_->num_nodes(), 0);
+  // This walk doubles as the live-id sweep: finished ids are dropped so
+  // the list tracks in-flight tasks only. Ids stay ascending, so per-node
+  // sample accumulation order (and thus FP rounding) is identical to the
+  // historical all-tasks scan.
+  std::size_t kept = 0;
+  for (const TaskId id : live_map_ids_) {
+    MapTask& task = *map_tasks_[id];
+    if (task.phase == TaskPhase::kDone) continue;  // sweep
+    live_map_ids_[kept++] = id;
+    if (task.phase != TaskPhase::kComputing) continue;
     // A silently-dead node reports nothing; its frozen containers keep
     // their last known progress but produce no fresh samples.
-    if (silent_nodes_.count(task->node) > 0) continue;
-    const SimDuration computing = sim_->now() - task->compute_start;
+    if (silent_nodes_.count(task.node) > 0) continue;
+    const SimDuration computing = sim_->now() - task.compute_start;
     if (computing < params_.heartbeat_period_s) continue;
-    const MiB read = task->integrator->done(sim_->now());
+    const MiB read = task.integrator->done(sim_->now());
     if (read <= 0) continue;
-    sum[task->node] += read / computing;
-    ++cnt[task->node];
+    hb_ips_sum_[task.node] += read / computing;
+    ++hb_ips_cnt_[task.node];
   }
+  live_map_ids_.resize(kept);
   for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
     for (const double sample : pending_ips_samples_[node]) {
-      sum[node] += sample;
-      ++cnt[node];
+      hb_ips_sum_[node] += sample;
+      ++hb_ips_cnt_[node];
     }
     pending_ips_samples_[node].clear();
-    if (cnt[node] > 0) round_ips_[node] = sum[node] / cnt[node];
+    if (hb_ips_cnt_[node] > 0) {
+      round_ips_[node] = hb_ips_sum_[node] / hb_ips_cnt_[node];
+    }
     scheduler_->on_heartbeat(*this, node);
   }
 
@@ -924,8 +937,8 @@ void JobDriver::on_node_silent(NodeId node) {
   // completion/startup events are cancelled — from the AM's perspective
   // the tasks have simply stopped reporting. Heartbeat expiry (or the
   // node's own re-registration) later turns this into a detected loss.
-  for (auto& owned : map_tasks_) {
-    MapTask& task = *owned;
+  for (const TaskId id : live_map_ids_) {
+    MapTask& task = *map_tasks_[id];
     if (task.node != node || task.phase == TaskPhase::kDone) continue;
     if (task.pending_event != kInvalidEvent) {
       sim_->cancel(task.pending_event);
@@ -1108,13 +1121,14 @@ void JobDriver::on_speed_change(NodeId node) {
   // simulations); a finished job has nothing left to re-rate. Tasks on a
   // silently-dead node are frozen at rate 0 and must not be re-rated.
   if (done_ || silent_nodes_.count(node) > 0) return;
-  for (auto& task : map_tasks_) {
-    if (task->node != node || task->phase != TaskPhase::kComputing) continue;
-    task->integrator->set_rate(sim_->now(), map_rate(*task));
+  for (const TaskId id : live_map_ids_) {
+    MapTask& task = *map_tasks_[id];
+    if (task.node != node || task.phase != TaskPhase::kComputing) continue;
+    task.integrator->set_rate(sim_->now(), map_rate(task));
     // A doomed attempt dies at its pre-drawn wall-clock moment; only the
     // progress it wastes is re-rated, not the death itself.
-    if (task->planned_fault == PlannedFault::kAttemptFail) continue;
-    reschedule_map_completion(*task);
+    if (task.planned_fault == PlannedFault::kAttemptFail) continue;
+    reschedule_map_completion(task);
   }
   for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
     ReduceTask& task = *reduce_tasks_[idx];
@@ -1133,19 +1147,21 @@ void JobDriver::on_speed_change(NodeId node) {
 
 std::vector<RunningMapInfo> JobDriver::running_maps() const {
   std::vector<RunningMapInfo> out;
-  for (const auto& task : map_tasks_) {
-    if (task->phase == TaskPhase::kDone) continue;
+  out.reserve(live_map_ids_.size());
+  for (const TaskId id : live_map_ids_) {
+    const MapTask& task = *map_tasks_[id];
+    if (task.phase == TaskPhase::kDone) continue;
     RunningMapInfo info;
-    info.id = task->id;
-    info.node = task->node;
-    info.size_mib = task->size;
-    info.computing = task->phase == TaskPhase::kComputing;
+    info.id = task.id;
+    info.node = task.node;
+    info.size_mib = task.size;
+    info.computing = task.phase == TaskPhase::kComputing;
     info.bytes_read =
-        info.computing ? task->integrator->done(sim_->now()) : 0.0;
-    info.progress = task->size > 0 ? info.bytes_read / task->size : 0.0;
-    info.dispatch_time = task->dispatch_time;
-    info.speculative = task->speculative;
-    info.has_twin = task->twin != kInvalidTask;
+        info.computing ? task.integrator->done(sim_->now()) : 0.0;
+    info.progress = task.size > 0 ? info.bytes_read / task.size : 0.0;
+    info.dispatch_time = task.dispatch_time;
+    info.speculative = task.speculative;
+    info.has_twin = task.twin != kInvalidTask;
     out.push_back(info);
   }
   return out;

@@ -256,6 +256,15 @@ class JobDriver final : public DriverContext {
   Rng rng_;
 
   std::vector<std::unique_ptr<MapTask>> map_tasks_;   // id == index
+  /// Ids of map tasks not yet Done, ascending (dispatch appends; finished
+  /// ids are skipped by readers and swept out during the heartbeat walk).
+  /// Keeps the heartbeat sampling scan, speed re-rating and running_maps()
+  /// proportional to in-flight work instead of every task ever launched.
+  std::vector<TaskId> live_map_ids_;
+  /// Heartbeat per-node sample accumulators (members so a heartbeat wave
+  /// allocates nothing).
+  std::vector<double> hb_ips_sum_;
+  std::vector<std::uint32_t> hb_ips_cnt_;
   std::vector<std::unique_ptr<ReduceTask>> reduce_tasks_;
   std::size_t next_reducer_ = 0;  ///< Global FIFO dispatch cursor.
   MiB total_intermediate_ = 0;

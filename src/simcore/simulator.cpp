@@ -1,36 +1,82 @@
 #include "simcore/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace flexmr {
 
 EventId Simulator::schedule_at(SimTime t, Handler handler) {
   FLEXMR_ASSERT_MSG(t >= now_, "cannot schedule event in the past");
-  FLEXMR_ASSERT(handler != nullptr);
+  FLEXMR_ASSERT(static_cast<bool>(handler));
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].handler = std::move(handler);
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+
   const std::uint64_t seq = next_seq_++;
-  const EventId id = seq;  // seq doubles as the id; both start at 1
-  queue_.push(QueueEntry{t, seq, id});
-  handlers_.emplace(id, std::move(handler));
+  queue_.push_back(QueueEntry{t, seq, id});
+  std::push_heap(queue_.begin(), queue_.end(), EntryAfter{});
+  ++live_count_;
   ++counters_.scheduled;
-  counters_.queue_peak = std::max<std::uint64_t>(counters_.queue_peak,
-                                                 queue_.size());
+  counters_.queue_peak =
+      std::max<std::uint64_t>(counters_.queue_peak, queue_.size());
   return id;
 }
 
+void Simulator::release_slot(std::uint32_t slot) {
+  // Generation stays non-zero across wraps so an id of 0 is never issued
+  // (slot 0, generation 0 would collide with kInvalidEvent).
+  if (++slots_[slot].generation == 0) slots_[slot].generation = 1;
+  free_slots_.push_back(slot);
+  --live_count_;
+}
+
 bool Simulator::cancel(EventId id) {
-  if (handlers_.erase(id) == 0) return false;  // entry is skipped lazily
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size() || slots_[slot].generation != generation_of(id)) {
+    return false;  // already fired or cancelled
+  }
+  slots_[slot].handler.reset();
+  release_slot(slot);
   ++counters_.cancelled;
+  ++dead_in_queue_;  // the queue entry is skipped lazily — or compacted:
+  if (dead_in_queue_ > live_count_ && queue_.size() >= kCompactMinEntries) {
+    compact();
+  }
   return true;
+}
+
+void Simulator::compact() {
+  std::erase_if(queue_,
+                [this](const QueueEntry& entry) { return !pending(entry.id); });
+  std::make_heap(queue_.begin(), queue_.end(), EntryAfter{});
+  dead_in_queue_ = 0;
+  ++counters_.compactions;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(entry.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    Handler handler = std::move(it->second);
-    handlers_.erase(it);
+    const QueueEntry entry = queue_.front();
+    std::pop_heap(queue_.begin(), queue_.end(), EntryAfter{});
+    queue_.pop_back();
+    const std::uint32_t slot = slot_of(entry.id);
+    if (slots_[slot].generation != generation_of(entry.id)) {
+      --dead_in_queue_;  // cancelled residue
+      continue;
+    }
+    // Detach before invoking: the handler may schedule into (and reuse)
+    // this very slot.
+    Handler handler = std::move(slots_[slot].handler);
+    slots_[slot].handler.reset();
+    release_slot(slot);
     FLEXMR_ASSERT(entry.time >= now_);
     now_ = entry.time;
     ++counters_.fired;
@@ -53,9 +99,11 @@ void Simulator::run(std::uint64_t max_events) {
 void Simulator::run_until(SimTime t) {
   FLEXMR_ASSERT(t >= now_);
   while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    if (!handlers_.contains(entry.id)) {
-      queue_.pop();
+    const QueueEntry entry = queue_.front();
+    if (!pending(entry.id)) {
+      std::pop_heap(queue_.begin(), queue_.end(), EntryAfter{});
+      queue_.pop_back();
+      --dead_in_queue_;
       continue;
     }
     if (entry.time > t) break;

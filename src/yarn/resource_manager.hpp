@@ -32,7 +32,7 @@ class ResourceManager {
   }
 
   std::uint32_t free_slots(NodeId node) const { return free_[node]; }
-  std::uint32_t total_free() const;
+  std::uint32_t total_free() const { return total_free_; }
   /// Slots of *alive* nodes (mark_dead subtracts the failed node's).
   std::uint32_t total_slots() const { return total_slots_; }
   std::uint32_t num_nodes() const {
@@ -79,8 +79,14 @@ class ResourceManager {
   std::vector<std::uint32_t> free_;
   std::vector<std::uint32_t> capacity_;  ///< Original slots per node.
   std::vector<char> dead_;
+  /// Alive node ids, ascending — the offer loop walks this instead of
+  /// rescanning (and re-skipping dead entries of) the whole cluster on
+  /// every heartbeat. Node death/rejoin is rare, so the sorted erase/
+  /// insert there is cheap; offer order stays identical to a full scan.
+  std::vector<NodeId> alive_;
   std::vector<SimTime> last_heartbeat_;
   std::uint32_t total_slots_ = 0;
+  std::uint32_t total_free_ = 0;  ///< Maintained incrementally.
   OfferHandler handler_;
   bool offering_ = false;  ///< Guards against re-entrant offer cascades.
 };

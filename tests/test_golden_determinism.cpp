@@ -1,0 +1,102 @@
+// Golden-output determinism regression for the hot-path optimizations.
+//
+// The simulator's core property is bit-reproducibility: the event-queue
+// slot table, heap compaction, SpeedMonitor extrema caching and the
+// heartbeat/offer-loop rewrites must not change a single byte of the
+// JobResult JSON for a fixed seed. The golden hashes below were captured
+// from the pre-optimization implementation (lazy-cancel unordered_map
+// queue, scan-based SpeedMonitor, O(all-tasks) heartbeat scans) on the
+// paper's 20-node virtual cluster — bursty interference there keeps
+// completion re-estimation (schedule/cancel churn) and speed re-rating in
+// the exercised path.
+//
+// To regenerate after an *intentional* output change, run with
+// FLEXMR_REGEN_GOLDEN=1 in the environment: the test prints the current
+// hashes and fails, and the constants below must be updated by hand.
+// Goldens assume IEEE-754 doubles and one libm (FP results feed the JSON);
+// they are tied to the CI/dev toolchain, not to a particular machine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/presets.hpp"
+#include "mr/result_json.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+struct GoldenCase {
+  workloads::SchedulerKind kind;
+  MiB block_size;
+  const char* label;
+  std::uint64_t expected;
+};
+
+// All four comparison systems of the paper (Fig. 5/6 configuration).
+const GoldenCase kCases[] = {
+    {workloads::SchedulerKind::kHadoop, kLargeBlockMiB, "Hadoop-128m",
+     0x0a1990820730e5d7ull},
+    {workloads::SchedulerKind::kHadoop, kDefaultBlockMiB, "Hadoop-64m",
+     0x9f9a7d1d34b8a063ull},
+    {workloads::SchedulerKind::kSkewTune, kDefaultBlockMiB, "SkewTune-64m",
+     0x8975dc6c0ed84393ull},
+    {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB, "FlexMap",
+     0x9884f7fe650b6a4aull},
+};
+
+std::string run_case(const GoldenCase& c) {
+  auto cluster = cluster::presets::virtual20();
+  workloads::RunConfig config;
+  config.block_size = c.block_size;
+  config.params.seed = 1234;
+  const auto result =
+      workloads::run_job(cluster, workloads::benchmark("WC"),
+                         workloads::InputScale::kSmall, c.kind, config);
+  return mr::job_result_json(result, cluster);
+}
+
+TEST(GoldenDeterminism, JobResultJsonMatchesPreOptimizationGolden) {
+  const bool regen = std::getenv("FLEXMR_REGEN_GOLDEN") != nullptr;
+  bool all_match = true;
+  for (const auto& c : kCases) {
+    const std::uint64_t hash = fnv1a(run_case(c));
+    if (regen) {
+      std::printf("    {workloads::SchedulerKind::k..., ..., \"%s\",\n"
+                  "     0x%016llxull},\n",
+                  c.label, static_cast<unsigned long long>(hash));
+      all_match = false;
+      continue;
+    }
+    EXPECT_EQ(hash, c.expected) << c.label;
+    all_match = all_match && hash == c.expected;
+  }
+  if (regen) {
+    FAIL() << "FLEXMR_REGEN_GOLDEN set: hashes printed above; update "
+              "kCases and re-run without the env var";
+  }
+  EXPECT_TRUE(all_match);
+}
+
+// Independent of the golden constants: the same seed must give the same
+// bytes on a second in-process run (fresh cluster + scheduler instances).
+TEST(GoldenDeterminism, RepeatedRunsAreByteIdentical) {
+  for (const auto& c : kCases) {
+    EXPECT_EQ(run_case(c), run_case(c)) << c.label;
+  }
+}
+
+}  // namespace
+}  // namespace flexmr

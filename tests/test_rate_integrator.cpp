@@ -84,6 +84,30 @@ TEST(RateIntegrator, QueryingBackwardsThrows) {
   EXPECT_THROW(ri.done(4.0), InvariantError);
 }
 
+TEST(RateIntegrator, TinyBackwardsDeltaClampsInsteadOfThrowing) {
+  RateIntegrator ri(100.0, 10.0, 1.0);
+  ri.advance(2.0);
+  // A caller re-deriving "now" from the run_until boundary can land a few
+  // ulps early after FP rounding; within the slack the clock clamps to the
+  // last update instead of tripping the ordering assert.
+  EXPECT_DOUBLE_EQ(ri.done(2.0 - 1e-7), 10.0);
+  ri.advance(2.0 - 1e-7);  // must not throw, must not regress progress
+  EXPECT_DOUBLE_EQ(ri.done(2.0), 10.0);
+  ri.set_rate(2.0 - 1e-7, 20.0);  // rate switch takes effect at 2.0
+  EXPECT_DOUBLE_EQ(ri.done(3.0), 30.0);
+}
+
+TEST(RateIntegrator, BackwardsDeltaBeyondSlackStillThrows) {
+  // Genuinely out-of-order calls skip backwards by whole event gaps, far
+  // beyond kClockSlackS — those must still be caught.
+  RateIntegrator ri(100.0, 10.0, 1.0);
+  ri.advance(2.0);
+  EXPECT_GT(1e-5, RateIntegrator::kClockSlackS);
+  EXPECT_THROW(ri.done(2.0 - 1e-5), InvariantError);
+  EXPECT_THROW(ri.advance(2.0 - 1e-5), InvariantError);
+  EXPECT_THROW(ri.set_rate(2.0 - 1e-5, 1.0), InvariantError);
+}
+
 TEST(RateIntegrator, ConstructionValidatesArguments) {
   EXPECT_THROW(RateIntegrator(0.0, 1.0, 0.0), InvariantError);
   EXPECT_THROW(RateIntegrator(10.0, -1.0, 0.0), InvariantError);

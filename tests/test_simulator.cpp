@@ -160,6 +160,61 @@ TEST(Simulator, RunBudgetIgnoresCancelledQueueResidue) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Simulator, CancelChurnCompactsQueueAndBoundsPeak) {
+  Simulator sim;
+  // A small live set under heavy schedule/cancel churn: the lazily-
+  // cancelled residue must be swept out, not accumulate. Before the
+  // compaction policy this left ~100k dead entries in the heap and
+  // queue_peak grew with the churn count instead of the live count.
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(1e9 + i, []() {});
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = sim.schedule_at(1e6 + i, []() {});
+    EXPECT_TRUE(sim.cancel(id));
+  }
+  const auto counters = sim.counters();
+  EXPECT_GT(counters.compactions, 0u);
+  // Dead entries are allowed up to the compaction threshold, never the
+  // full churn volume.
+  EXPECT_LE(counters.queue_peak, 4096u);
+  EXPECT_EQ(sim.live_events(), 8u);
+  sim.run();
+  EXPECT_EQ(sim.counters().fired, 8u);
+  EXPECT_EQ(sim.counters().cancelled, 100000u);
+}
+
+TEST(Simulator, StaleIdDoesNotCancelSlotReusingEvent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule_at(1.0, [&]() { ++fired; });
+  ASSERT_TRUE(sim.cancel(a));
+  // b recycles a's slot; the stale id must not alias the new event.
+  const EventId b = sim.schedule_at(2.0, [&]() { ++fired; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_FALSE(sim.pending(a));
+  EXPECT_TRUE(sim.pending(b));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, OrderingSurvivesCompaction) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_at(1e7 + i, [&order, i]() { order.push_back(i); });
+  }
+  // Force several compaction sweeps while the live events sit in the heap.
+  for (int i = 0; i < 20000; ++i) {
+    sim.cancel(sim.schedule_at(1e6, []() {}));
+  }
+  EXPECT_GT(sim.counters().compactions, 0u);
+  sim.run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(Simulator, CountersTrackScheduleFireCancelAndPeak) {
   Simulator sim;
   const EventId a = sim.schedule_at(1.0, []() {});

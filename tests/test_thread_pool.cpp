@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -88,6 +90,64 @@ TEST(ThreadPool, NestedSubmissionFromWorker) {
     return inner.get() + 1;
   });
   EXPECT_EQ(outer.get(), 6);
+}
+
+TEST(ThreadPool, ParallelForEachEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::vector<int> empty;
+  int calls = 0;
+  pool.parallel_for_each(empty.begin(), empty.end(),
+                         [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for_index(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, FirstExceptionInItemOrderRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for_each(items.begin(), items.end(), [&ran](int i) {
+      ++ran;
+      if (i % 4 == 3) throw std::runtime_error("item-" + std::to_string(i));
+    });
+    FAIL() << "expected a rethrown exception";
+  } catch (const std::runtime_error& e) {
+    // "First" means item order (the order futures are drained), not
+    // whichever worker happened to throw first on the wall clock.
+    EXPECT_STREQ(e.what(), "item-3");
+  }
+  EXPECT_EQ(ran.load(), 16);  // the other items still ran to completion
+  auto fut = pool.submit([]() { return 7; });
+  EXPECT_EQ(fut.get(), 7);  // and the pool remains usable
+}
+
+namespace sweep {
+// Deterministic FP-heavy work: the accumulation order inside one item is
+// fixed, so results may depend only on the item, never on which worker ran
+// it or how many workers exist.
+double item(std::size_t i) {
+  double acc = static_cast<double>(i) + 1.0;
+  for (int k = 0; k < 1000; ++k) acc += std::sin(acc) * 1e-3;
+  return acc;
+}
+}  // namespace sweep
+
+TEST(ThreadPool, SweepResultsIdenticalAcrossPoolSizes) {
+  constexpr std::size_t kItems = 64;
+  const std::size_t pool_sizes[] = {1, 4, 0};  // 0 = hardware concurrency
+  std::vector<std::vector<double>> results;
+  for (const std::size_t threads : pool_sizes) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kItems, 0.0);
+    pool.parallel_for_index(
+        kItems, [&out](std::size_t i) { out[i] = sweep::item(i); });
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
 }
 
 }  // namespace
