@@ -31,7 +31,8 @@ double FaultPlan::attempt_failure_prob_for(NodeId node) const {
 
 bool FaultPlan::empty() const {
   if (!crashes.empty() || !degradations.empty()) return false;
-  if (attempt_failure_prob > 0.0 || container_launch_failure_prob > 0.0) {
+  if (attempt_failure_prob > 0.0 || container_launch_failure_prob > 0.0 ||
+      fetch_failure_prob > 0.0) {
     return false;
   }
   return std::all_of(node_attempt_failure_prob.begin(),
@@ -43,6 +44,22 @@ void FaultPlan::validate(std::uint32_t num_nodes) const {
   check_prob(attempt_failure_prob, "attempt_failure_prob");
   check_prob(container_launch_failure_prob, "container_launch_failure_prob");
   check_prob(blacklist_ignore_fraction, "blacklist_ignore_fraction");
+  check_prob(fetch_failure_prob, "fetch_failure_prob");
+  if (!(fetch_retry_backoff_s > 0.0)) {
+    std::ostringstream os;
+    os << "FaultPlan: fetch_retry_backoff_s must be > 0, got "
+       << fetch_retry_backoff_s;
+    fail(os.str());
+  }
+  if (max_fetch_failures_per_map == 0) {
+    fail("FaultPlan: max_fetch_failures_per_map must be >= 1");
+  }
+  if (!(re_replication_bandwidth_mibps > 0.0)) {
+    std::ostringstream os;
+    os << "FaultPlan: re_replication_bandwidth_mibps must be > 0, got "
+       << re_replication_bandwidth_mibps;
+    fail(os.str());
+  }
   if (node_liveness_timeout_s < 0.0) {
     fail("FaultPlan: node_liveness_timeout_s must be >= 0");
   }
@@ -141,6 +158,11 @@ const char* to_string(FaultEventType type) {
     case FaultEventType::kLaunchFailure: return "launch-failure";
     case FaultEventType::kBlacklist: return "blacklist";
     case FaultEventType::kAbort: return "abort";
+    case FaultEventType::kReplicaLost: return "replica-lost";
+    case FaultEventType::kReReplicated: return "re-replicated";
+    case FaultEventType::kDataLoss: return "data-loss";
+    case FaultEventType::kFetchFailure: return "fetch-failure";
+    case FaultEventType::kMapOutputLost: return "map-output-lost";
   }
   return "?";
 }
@@ -178,6 +200,28 @@ void write_fault_plan(JsonWriter& writer, const FaultPlan& plan) {
   writer.end_array();
   writer.field("container_launch_failure_prob",
                plan.container_launch_failure_prob);
+  // The data-plane knobs are emitted only when they differ from their
+  // defaults: flexmr.job_result.v1 consumers predate them, and the pinned
+  // golden hashes guarantee empty-plan JSON stays byte-identical.
+  FaultPlan defaults;
+  if (plan.fetch_failure_prob != defaults.fetch_failure_prob) {
+    writer.field("fetch_failure_prob", plan.fetch_failure_prob);
+  }
+  if (plan.fetch_retry_backoff_s != defaults.fetch_retry_backoff_s) {
+    writer.field("fetch_retry_backoff_s", plan.fetch_retry_backoff_s);
+  }
+  if (plan.max_fetch_failures_per_map != defaults.max_fetch_failures_per_map) {
+    writer.field("max_fetch_failures_per_map",
+                 plan.max_fetch_failures_per_map);
+  }
+  if (plan.re_replication != defaults.re_replication) {
+    writer.field("re_replication", plan.re_replication);
+  }
+  if (plan.re_replication_bandwidth_mibps !=
+      defaults.re_replication_bandwidth_mibps) {
+    writer.field("re_replication_bandwidth_mibps",
+                 plan.re_replication_bandwidth_mibps);
+  }
   writer.field("node_liveness_timeout_s", plan.node_liveness_timeout_s);
   writer.field("max_attempts", plan.max_attempts);
   writer.field("blacklist_threshold", plan.blacklist_threshold);
@@ -194,6 +238,7 @@ void write_fault_event(JsonWriter& writer, const FaultEvent& event) {
     writer.field("task", static_cast<std::uint64_t>(event.task));
   }
   if (event.attempts > 0) writer.field("attempts", event.attempts);
+  if (event.block != kInvalidBlock) writer.field("block", event.block);
   writer.end_object();
 }
 

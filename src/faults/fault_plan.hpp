@@ -72,6 +72,29 @@ struct FaultPlan {
   /// Probability a container launch fails during startup (no compute).
   double container_launch_failure_prob = 0.0;
 
+  /// Probability one reducer→map-host shuffle fetch fails transiently
+  /// (connection reset, read timeout). Failed fetches are retried with
+  /// exponential backoff and reported to the AM; a map output accumulating
+  /// `max_fetch_failures_per_map` reports is re-executed (Hadoop's
+  /// "Too many fetch-failures" path).
+  double fetch_failure_prob = 0.0;
+  /// Initial backoff before refetching a failed shuffle source; doubles per
+  /// consecutive failure of the same fetch (mapreduce.reduce.shuffle
+  /// retry-delay analogue).
+  SimDuration fetch_retry_backoff_s = 1.0;
+  /// Fetch-failure reports against one map output before the AM re-executes
+  /// the map (mapreduce.job.max.fetchfailures.per.mapper, default 3).
+  std::uint32_t max_fetch_failures_per_map = 3;
+
+  /// When a node dies, the NameNode restores the replication factor of its
+  /// blocks by copying surviving replicas onto other nodes. Disable to model
+  /// a cluster whose re-replication is throttled to zero (blocks stay
+  /// under-replicated until rejoin).
+  bool re_replication = true;
+  /// Bandwidth of the (single-stream) re-replication pipeline; one block of
+  /// `block_size` MiB takes block_size / bandwidth seconds to restore.
+  double re_replication_bandwidth_mibps = 100.0;
+
   /// Declare a node lost after this long without a heartbeat.
   SimDuration node_liveness_timeout_s = 30.0;
   /// Attempts per unit of work before the job aborts (Hadoop: 4).
@@ -105,10 +128,19 @@ enum class FaultEventType {
   kLaunchFailure,   ///< A container launch failed during startup.
   kBlacklist,       ///< AM blacklisted a node.
   kAbort,           ///< Job aborted (max_attempts exceeded / cluster lost).
+  kReplicaLost,     ///< A block lost one replica to a node death.
+  kReReplicated,    ///< NameNode restored a replica on a surviving node.
+  kDataLoss,        ///< A block lost its last replica before being read.
+  kFetchFailure,    ///< A reducer's shuffle fetch from a map host failed.
+  kMapOutputLost,   ///< Fetch-failure reports forced a map re-execution.
 };
 
 /// Stable wire names ("crash", "detected", "rejoin", ...).
 const char* to_string(FaultEventType type);
+
+/// Sentinel for FaultEvent::block on non-storage events.
+inline constexpr std::uint32_t kInvalidBlock =
+    static_cast<std::uint32_t>(-1);
 
 struct FaultEvent {
   SimTime time = 0;
@@ -117,6 +149,9 @@ struct FaultEvent {
   TaskId task = kInvalidTask;
   /// Attempt count at the moment of the event (failure/blacklist events).
   std::uint32_t attempts = 0;
+  /// HDFS block id for storage-plane events (kReplicaLost, kReReplicated,
+  /// kDataLoss); kInvalidBlock otherwise.
+  std::uint32_t block = kInvalidBlock;
 };
 
 /// Streams the plan as a JSON object (embedded in flexmr.job_result.v1 so

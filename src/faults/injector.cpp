@@ -6,6 +6,7 @@ namespace flexmr::faults {
 
 void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
   down_.assign(cluster.num_nodes(), 0);
+  node_pending_rejoins_.assign(cluster.num_nodes(), 0);
   for (const auto& crash : plan_.crashes) {
     const NodeCrash entry = crash;
     // A job submitted after a planned fault time learns about it at start.
@@ -15,6 +16,7 @@ void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
     });
     if (entry.rejoin_at) {
       ++pending_rejoins_;
+      ++node_pending_rejoins_[entry.node];
       sim.schedule_at(std::max(*entry.rejoin_at, sim.now()),
                       [this, entry]() {
                         down_[entry.node] = 0;
@@ -23,6 +25,7 @@ void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
                         // check inside rejoin resync must still see this
                         // rejoin as pending.
                         --pending_rejoins_;
+                        --node_pending_rejoins_[entry.node];
                       });
     }
   }
@@ -46,6 +49,11 @@ bool FaultInjector::draw_launch_failure(NodeId node) {
 
 bool FaultInjector::draw_attempt_failure(NodeId node) {
   const double p = plan_.attempt_failure_prob_for(node);
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+bool FaultInjector::draw_fetch_failure() {
+  const double p = plan_.fetch_failure_prob;
   return p > 0.0 && rng_.bernoulli(p);
 }
 

@@ -55,10 +55,21 @@ class FaultInjector {
   /// all-nodes-lost job must keep waiting instead of aborting.
   bool rejoin_pending() const { return pending_rejoins_ > 0; }
 
+  /// True while `node` is down but has a planned rejoin that has not fired
+  /// yet — a block whose last live replica sits on such a node is not lost
+  /// forever, so the data-loss abort must wait for the rejoin.
+  bool rejoin_pending(NodeId node) const {
+    return node < node_pending_rejoins_.size() &&
+           node_pending_rejoins_[node] > 0;
+  }
+
   /// Per-attempt draws (consumed at dispatch, in deterministic event
   /// order, so a fault sweep is reproducible per seed).
   bool draw_launch_failure(NodeId node);
   bool draw_attempt_failure(NodeId node);
+  /// One reducer→map-host shuffle fetch (no RNG consumed when
+  /// fetch_failure_prob == 0, so fetch-free plans keep the PR 2 stream).
+  bool draw_fetch_failure();
   /// Fraction of the attempt's projected compute at which it dies.
   double draw_failure_fraction();
 
@@ -69,6 +80,7 @@ class FaultInjector {
   RejoinHandler on_rejoin_;
   std::vector<char> down_;
   std::uint32_t pending_rejoins_ = 0;
+  std::vector<std::uint32_t> node_pending_rejoins_;
 };
 
 }  // namespace flexmr::faults

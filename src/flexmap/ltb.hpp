@@ -7,6 +7,10 @@
 // fewer, the remainder comes from the node with the most unprocessed BUs
 // (the paper's remote heuristic). Taking a BU removes it everywhere, so a
 // BU is bound to exactly one task.
+//
+// Under fault injection the index reflects the *live* replica view (dead
+// nodes' pools are empty, re-replicated copies appear on their new hosts),
+// so the binder adapts to replica loss with no code of its own.
 #pragma once
 
 #include <vector>

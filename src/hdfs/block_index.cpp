@@ -13,6 +13,8 @@ BlockLocationIndex::BlockLocationIndex(const FileLayout& layout,
       cursor_(num_nodes, 0),
       counts_(num_nodes, 0),
       taken_(layout.bus.size(), 0),
+      active_(num_nodes, 1),
+      extra_holders_(layout.blocks.size()),
       unprocessed_(layout.bus.size()) {
   for (const auto& bu : layout.bus) {
     for (const NodeId node : layout.replicas_of(bu.id)) {
@@ -33,6 +35,12 @@ void BlockLocationIndex::take_one(BlockUnitId bu) {
   taken_[bu] = 1;
   --unprocessed_;
   for (const NodeId node : layout_->replicas_of(bu)) {
+    if (!active_[node]) continue;
+    FLEXMR_ASSERT(counts_[node] > 0);
+    --counts_[node];
+  }
+  for (const NodeId node : extra_holders_[layout_->bus[bu].block]) {
+    if (!active_[node]) continue;
     FLEXMR_ASSERT(counts_[node] > 0);
     --counts_[node];
   }
@@ -42,6 +50,7 @@ std::vector<BlockUnitId> BlockLocationIndex::take_local(NodeId node,
                                                         std::size_t n) {
   FLEXMR_ASSERT(node < node_lists_.size());
   std::vector<BlockUnitId> taken;
+  if (!active_[node]) return taken;  // a dead node serves nothing
   taken.reserve(n);
   auto& list = node_lists_[node];
   auto& cur = cursor_[node];
@@ -118,10 +127,52 @@ void BlockLocationIndex::put_back(const std::vector<BlockUnitId>& bus) {
     taken_[bu] = 0;
     ++unprocessed_;
     for (const NodeId node : layout_->replicas_of(bu)) {
+      if (!active_[node]) continue;
       ++counts_[node];
       // Reset the scan cursor so take_local can find it again cheaply.
       cursor_[node] = 0;
     }
+    for (const NodeId node : extra_holders_[layout_->bus[bu].block]) {
+      if (!active_[node]) continue;
+      ++counts_[node];
+      cursor_[node] = 0;
+    }
+  }
+}
+
+void BlockLocationIndex::deactivate_node(NodeId node) {
+  FLEXMR_ASSERT(node < node_lists_.size());
+  if (!active_[node]) return;
+  active_[node] = 0;
+  counts_[node] = 0;
+  cursor_[node] = 0;
+}
+
+void BlockLocationIndex::restore_node(NodeId node) {
+  FLEXMR_ASSERT(node < node_lists_.size());
+  if (active_[node]) return;
+  active_[node] = 1;
+  std::size_t count = 0;
+  for (const BlockUnitId bu : node_lists_[node]) {
+    if (!taken_[bu]) ++count;
+  }
+  counts_[node] = count;
+  cursor_[node] = 0;
+}
+
+void BlockLocationIndex::add_replica(const Block& block, NodeId node) {
+  FLEXMR_ASSERT(node < node_lists_.size());
+  FLEXMR_ASSERT_MSG(active_[node], "cannot rehost a block on a dead node");
+  auto& extras = extra_holders_[block.id];
+  FLEXMR_ASSERT_MSG(
+      std::find(extras.begin(), extras.end(), node) == extras.end() &&
+          std::find(block.replicas.begin(), block.replicas.end(), node) ==
+              block.replicas.end(),
+      "node already holds a replica of this block");
+  extras.push_back(node);
+  for (const BlockUnitId bu : block.bus) {
+    node_lists_[node].push_back(bu);
+    if (!taken_[bu]) ++counts_[node];
   }
 }
 

@@ -52,6 +52,28 @@ class BlockLocationIndex {
   /// the pool so mitigation tasks can re-take it).
   void put_back(const std::vector<BlockUnitId>& bus);
 
+  // ---- live replica view (data-plane fault tolerance) -------------------
+  //
+  // When a node is declared lost its replicas stop being takeable: the
+  // node's local pool shrinks to zero and take/put bookkeeping skips it.
+  // A rejoin restores the pool; re-replication grows another node's pool
+  // by the rehosted block's unprocessed BUs. With no deactivations the
+  // index behaves byte-identically to the static layout view.
+
+  /// Drop `node` from the live view: its local pool empties and replica
+  /// counting ignores it until restore_node.
+  void deactivate_node(NodeId node);
+
+  /// Re-admit `node` (rejoin block report): its local pool is recounted
+  /// from its placement-order list.
+  void restore_node(NodeId node);
+
+  /// A re-replication copy of `block` landed on `node` (which must not
+  /// already hold it): the block's BUs join the node's local pool.
+  void add_replica(const Block& block, NodeId node);
+
+  bool node_active(NodeId node) const { return active_[node] != 0; }
+
   std::uint32_t num_nodes() const {
     return static_cast<std::uint32_t>(node_lists_.size());
   }
@@ -64,6 +86,9 @@ class BlockLocationIndex {
   std::vector<std::size_t> cursor_;                   // per-node scan cursor
   std::vector<std::size_t> counts_;                   // per-node unprocessed
   std::vector<char> taken_;
+  std::vector<char> active_;
+  /// Re-replication targets per block, beyond the layout's replica set.
+  std::vector<std::vector<NodeId>> extra_holders_;
   std::size_t unprocessed_ = 0;
 };
 

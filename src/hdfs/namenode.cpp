@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -44,10 +45,34 @@ std::vector<NodeId> NameNode::place_replicas(std::uint32_t count) {
 
 FileLayout NameNode::create_file(MiB size, MiB block_size,
                                  std::uint32_t replication, MiB bu_size) {
-  FLEXMR_ASSERT(size > 0 && block_size > 0 && bu_size > 0);
-  FLEXMR_ASSERT_MSG(block_size >= bu_size,
-                    "block size must be at least one BU");
-  FLEXMR_ASSERT(replication > 0);
+  // Caller-facing misconfiguration is a ConfigError, not an assert: these
+  // values come straight from RunConfig / bench flags.
+  if (!(size > 0)) {
+    std::ostringstream os;
+    os << "NameNode::create_file: file size must be > 0, got " << size;
+    throw ConfigError(os.str());
+  }
+  if (!(block_size > 0)) {
+    std::ostringstream os;
+    os << "NameNode::create_file: block size must be > 0, got " << block_size;
+    throw ConfigError(os.str());
+  }
+  if (replication == 0) {
+    throw ConfigError("NameNode::create_file: replication must be >= 1");
+  }
+  if (!(bu_size > 0) || block_size < bu_size) {
+    std::ostringstream os;
+    os << "NameNode::create_file: BU size " << bu_size
+       << " must be in (0, block size " << block_size << "]";
+    throw ConfigError(os.str());
+  }
+  const double rem = std::fmod(block_size, bu_size);
+  if (rem > 1e-9 && bu_size - rem > 1e-9) {
+    std::ostringstream os;
+    os << "NameNode::create_file: BU size " << bu_size
+       << " does not divide block size " << block_size;
+    throw ConfigError(os.str());
+  }
 
   FileLayout layout;
   layout.total_size = size;

@@ -1,0 +1,169 @@
+#include "hdfs/replica_manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr::hdfs {
+
+ReplicaManager::ReplicaManager(const FileLayout& layout,
+                               std::uint32_t num_nodes)
+    : layout_(&layout),
+      live_holders_(layout.blocks.size()),
+      disk_holders_(layout.blocks.size()),
+      node_blocks_(num_nodes),
+      block_bytes_(layout.blocks.size(), 0.0),
+      alive_(num_nodes, 1),
+      live_block_count_(num_nodes, 0),
+      queue_state_(layout.blocks.size(), 0) {
+  for (const auto& block : layout.blocks) {
+    live_holders_[block.id] = block.replicas;
+    disk_holders_[block.id] = block.replicas;
+    for (const NodeId node : block.replicas) {
+      FLEXMR_ASSERT(node < num_nodes);
+      node_blocks_[node].push_back(block.id);
+      ++live_block_count_[node];
+    }
+    for (const BlockUnitId bu : block.bus) {
+      block_bytes_[block.id] += layout.bus[bu].size;
+    }
+  }
+}
+
+void ReplicaManager::enable_re_replication(Simulator& sim,
+                                           double bandwidth_mibps) {
+  FLEXMR_ASSERT(bandwidth_mibps > 0.0);
+  sim_ = &sim;
+  bandwidth_mibps_ = bandwidth_mibps;
+}
+
+bool ReplicaManager::holds_live(std::uint32_t block, NodeId node) const {
+  const auto& holders = live_holders_[block];
+  return std::find(holders.begin(), holders.end(), node) != holders.end();
+}
+
+ReplicaManager::NodeLossReport ReplicaManager::on_node_lost(NodeId node) {
+  NodeLossReport report;
+  if (!alive_[node]) return report;
+  alive_[node] = 0;
+  live_block_count_[node] = 0;
+
+  // An in-flight copy reading from or writing to the dead node is torn
+  // down; the block re-enters the queue at the front so recovery resumes
+  // with the most urgent work.
+  if (in_flight_ &&
+      (in_flight_->source == node || in_flight_->target == node)) {
+    sim_->cancel(in_flight_->event);
+    const std::uint32_t block = in_flight_->block;
+    in_flight_.reset();
+    if (queue_state_[block] == 0) {
+      queue_state_[block] = 1;
+      queue_.push_front(block);
+    }
+  }
+
+  for (const std::uint32_t block : node_blocks_[node]) {
+    auto& holders = live_holders_[block];
+    const auto it = std::find(holders.begin(), holders.end(), node);
+    if (it == holders.end()) continue;  // already non-live (repeat death)
+    holders.erase(it);
+    report.lost.push_back(block);
+    if (holders.empty()) {
+      report.zero.push_back(block);
+      ++zero_replica_count_;
+    } else {
+      enqueue(block);
+    }
+  }
+  pump();
+  return report;
+}
+
+std::vector<std::uint32_t> ReplicaManager::on_node_restored(NodeId node) {
+  std::vector<std::uint32_t> restored;
+  if (alive_[node]) return restored;
+  alive_[node] = 1;
+  for (const std::uint32_t block : node_blocks_[node]) {
+    auto& holders = live_holders_[block];
+    if (holders.empty()) --zero_replica_count_;
+    holders.push_back(node);
+    ++live_block_count_[node];
+    restored.push_back(block);
+    if (holders.size() < layout_->replication) enqueue(block);
+  }
+  // Parked blocks were waiting for a viable target; the rejoined node may
+  // be one.
+  for (const std::uint32_t block : parked_) {
+    queue_state_[block] = 1;
+    queue_.push_back(block);
+  }
+  parked_.clear();
+  pump();
+  return restored;
+}
+
+void ReplicaManager::enqueue(std::uint32_t block) {
+  if (sim_ == nullptr) return;  // re-replication disabled
+  if (queue_state_[block] != 0) return;
+  queue_state_[block] = 1;
+  queue_.push_back(block);
+}
+
+NodeId ReplicaManager::pick_target(std::uint32_t block) const {
+  // Deterministic: the alive node not already remembering the block (a
+  // rejoining ex-holder would double-count) with the fewest live blocks,
+  // ties toward the lowest id.
+  const auto& remembered = disk_holders_[block];
+  NodeId best = kInvalidNode;
+  for (NodeId node = 0; node < alive_.size(); ++node) {
+    if (!alive_[node]) continue;
+    if (std::find(remembered.begin(), remembered.end(), node) !=
+        remembered.end()) {
+      continue;
+    }
+    if (best == kInvalidNode ||
+        live_block_count_[node] < live_block_count_[best]) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+void ReplicaManager::pump() {
+  if (sim_ == nullptr) return;
+  while (!in_flight_ && !queue_.empty()) {
+    const std::uint32_t block = queue_.front();
+    queue_.pop_front();
+    queue_state_[block] = 0;
+    const auto& holders = live_holders_[block];
+    if (holders.empty()) continue;  // stalled until a rejoin re-enqueues it
+    if (holders.size() >= layout_->replication) continue;  // raced a rejoin
+    const NodeId target = pick_target(block);
+    if (target == kInvalidNode) {
+      queue_state_[block] = 2;
+      parked_.push_back(block);
+      continue;
+    }
+    InFlightCopy copy;
+    copy.block = block;
+    copy.source = holders.front();
+    copy.target = target;
+    copy.event = sim_->schedule_after(
+        block_bytes_[block] / bandwidth_mibps_,
+        [this, block, target]() { finish_copy(block, target); });
+    in_flight_ = copy;
+  }
+}
+
+void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
+  in_flight_.reset();
+  live_holders_[block].push_back(target);
+  disk_holders_[block].push_back(target);
+  node_blocks_[target].push_back(block);
+  ++live_block_count_[target];
+  if (live_holders_[block].size() < layout_->replication) enqueue(block);
+  if (on_copy_complete_) on_copy_complete_(block, target);
+  pump();
+}
+
+}  // namespace flexmr::hdfs

@@ -1,0 +1,136 @@
+// ReplicaManager — the live half of the NameNode.
+//
+// PR 2 made the compute plane fault-tolerant but left the data plane an
+// oracle: `NameNode::create_file` produced a static FileLayout and a dead
+// node silently kept "serving" its replicas. The ReplicaManager tracks the
+// *live* replica set of every block as nodes die and rejoin, maintains the
+// under-replicated queue a real NameNode keeps, and runs a bandwidth-
+// modeled re-replication pipeline that restores the replication factor on
+// surviving nodes.
+//
+// Replica lifecycle of one block (replication r):
+//
+//   placed(r live) --node death--> under-replicated (queued)
+//        ^                              |
+//        |                        pipeline copy
+//        |                   (block_bytes / bandwidth s)
+//        +------ re-replicated <--------+
+//
+//   under-replicated --last holder dies--> zero-replica (stalled):
+//     the driver aborts with DataLossError unless a dead holder has a
+//     planned rejoin, in which case the block waits for its block report.
+//
+// Two holder views are kept per block: *live* holders (alive nodes whose
+// disk has the data — what schedulers and locality decisions see) and
+// *remembered* holders (every disk with the data, alive or dead — a silent
+// crash does not wipe the disk, so a rejoining node's block report
+// restores its replicas; over-replication after a rejoin is tolerated,
+// exactly as in HDFS).
+//
+// The pipeline copies one block at a time: HDFS throttles re-replication
+// (dfs.namenode.replication.max-streams / dfs.datanode.balance.bandwidth-
+// PerSec) so recovery is deliberately slow relative to task traffic. Target
+// selection is deterministic: the alive non-holder with the fewest live
+// replicas, ties toward the lowest node id.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hdfs/block.hpp"
+#include "simcore/simulator.hpp"
+
+namespace flexmr::hdfs {
+
+class ReplicaManager {
+ public:
+  /// What one node death did to the replica map.
+  struct NodeLossReport {
+    /// Blocks that lost a replica on the dead node (ascending block id).
+    std::vector<std::uint32_t> lost;
+    /// Subset of `lost` now with no live replica at all.
+    std::vector<std::uint32_t> zero;
+  };
+
+  /// Fired when a re-replication copy lands on `target`.
+  using CopyComplete =
+      std::function<void(std::uint32_t block, NodeId target)>;
+
+  ReplicaManager(const FileLayout& layout, std::uint32_t num_nodes);
+
+  /// Turns the re-replication pipeline on. Without this call the manager
+  /// only tracks liveness (blocks stay under-replicated until rejoin).
+  void enable_re_replication(Simulator& sim, double bandwidth_mibps);
+
+  void set_copy_complete_handler(CopyComplete handler) {
+    on_copy_complete_ = std::move(handler);
+  }
+
+  /// Alive nodes whose disk holds `block` (the view LTB and the
+  /// schedulers consume).
+  const std::vector<NodeId>& live_holders(std::uint32_t block) const {
+    return live_holders_[block];
+  }
+  std::size_t live_holder_count(std::uint32_t block) const {
+    return live_holders_[block].size();
+  }
+  bool holds_live(std::uint32_t block, NodeId node) const;
+
+  /// Every disk with the data, alive or dead (rejoin memory).
+  const std::vector<NodeId>& remembered_holders(std::uint32_t block) const {
+    return disk_holders_[block];
+  }
+
+  bool node_alive(NodeId node) const { return alive_[node] != 0; }
+
+  /// True while at least one block has no live replica — such blocks keep
+  /// unprocessed BUs that no scheduler can take, so the driver's
+  /// scheduling-deadlock guard must stand down until rejoin.
+  bool has_zero_replica_blocks() const { return zero_replica_count_ > 0; }
+
+  /// The node was declared lost: drop its replicas from the live view,
+  /// queue re-replication work, and report what happened.
+  NodeLossReport on_node_lost(NodeId node);
+
+  /// The node re-registered and sent its block report: every block on its
+  /// disk regains a live replica. Returns the restored block ids.
+  std::vector<std::uint32_t> on_node_restored(NodeId node);
+
+ private:
+  struct InFlightCopy {
+    std::uint32_t block = 0;
+    NodeId source = kInvalidNode;
+    NodeId target = kInvalidNode;
+    EventId event = kInvalidEvent;
+  };
+
+  void enqueue(std::uint32_t block);
+  void pump();
+  void finish_copy(std::uint32_t block, NodeId target);
+  NodeId pick_target(std::uint32_t block) const;
+
+  const FileLayout* layout_;
+  Simulator* sim_ = nullptr;
+  double bandwidth_mibps_ = 0.0;
+  CopyComplete on_copy_complete_;
+
+  std::vector<std::vector<NodeId>> live_holders_;  // per block
+  std::vector<std::vector<NodeId>> disk_holders_;  // per block
+  std::vector<std::vector<std::uint32_t>> node_blocks_;  // per node
+  std::vector<MiB> block_bytes_;
+  std::vector<char> alive_;
+  std::vector<std::size_t> live_block_count_;  // per node, target selection
+
+  // 0 = idle, 1 = queued, 2 = parked (no target available until a rejoin).
+  std::vector<char> queue_state_;
+  std::deque<std::uint32_t> queue_;
+  std::vector<std::uint32_t> parked_;
+  std::optional<InFlightCopy> in_flight_;
+  std::size_t zero_replica_count_ = 0;
+};
+
+}  // namespace flexmr::hdfs

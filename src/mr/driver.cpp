@@ -80,8 +80,21 @@ void JobDriver::start() {
   bu_attempt_failures_.assign(layout_->bus.size(), 0);
   node_failed_attempts_.assign(cluster_->num_nodes(), 0);
   blacklisted_.assign(cluster_->num_nodes(), 0);
+  bu_done_.assign(layout_->bus.size(), 0);
 
   if (!plan_.empty()) {
+    // The live NameNode view only matters when nodes can die; without
+    // faults the static layout is already the truth.
+    replica_mgr_ = std::make_unique<hdfs::ReplicaManager>(
+        *layout_, cluster_->num_nodes());
+    if (plan_.re_replication) {
+      replica_mgr_->enable_re_replication(
+          *sim_, plan_.re_replication_bandwidth_mibps);
+    }
+    replica_mgr_->set_copy_complete_handler(
+        [this](std::uint32_t block, NodeId target) {
+          on_block_re_replicated(block, target);
+        });
     injector_ = std::make_unique<faults::FaultInjector>(plan_, params_.seed);
     injector_->set_crash_handler([this](NodeId node, bool silent) {
       if (done_) return;
@@ -132,6 +145,9 @@ JobResult JobDriver::run() {
     }
   }
   if (result_.aborted) {
+    if (!result_.lost_blocks.empty()) {
+      throw DataLossError(result_.abort_reason, result_);
+    }
     throw JobAbortedError(result_.abort_reason, result_);
   }
   return result_;
@@ -192,10 +208,17 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
     const auto& unit = layout_->bus[bu];
     task->size += unit.size;
     work += unit.size * unit.cost;
-    const auto& replicas = layout_->replicas_of(bu);
-    if (std::find(replicas.begin(), replicas.end(), node) !=
-        replicas.end()) {
-      local += unit.size;
+    // Locality against the *live* replica set when the NameNode is live:
+    // a re-replicated copy makes the BU local to its new host, a dead
+    // holder no longer counts.
+    if (replica_mgr_) {
+      if (replica_mgr_->holds_live(unit.block, node)) local += unit.size;
+    } else {
+      const auto& replicas = layout_->replicas_of(bu);
+      if (std::find(replicas.begin(), replicas.end(), node) !=
+          replicas.end()) {
+        local += unit.size;
+      }
     }
   }
   task->avg_cost = work / task->size;
@@ -310,6 +333,7 @@ void JobDriver::map_complete(TaskId id) {
   // The winner credits the BUs; a twin (original or copy) is killed now.
   task.credited = true;
   processed_bus_ += task.bus.size();
+  for (const BlockUnitId bu : task.bus) bu_done_[bu] = 1;
   intermediate_on_node_[node] += task.size * job_.shuffle_ratio;
   record_map(task, TaskStatus::kCompleted, task.size,
              static_cast<std::uint32_t>(task.bus.size()));
@@ -395,6 +419,7 @@ std::vector<BlockUnitId> JobDriver::kill_and_reclaim(TaskId id) {
   const NodeId node = task.node;
 
   processed_bus_ += kept;
+  for (const BlockUnitId bu : task.bus) bu_done_[bu] = 1;
   intermediate_on_node_[node] += acc * job_.shuffle_ratio;
   record_map(task, kept > 0 ? TaskStatus::kPartialCompleted
                             : TaskStatus::kKilled,
@@ -558,11 +583,141 @@ void JobDriver::reduce_fetch_start(std::size_t idx) {
   ReduceTask& task = *reduce_tasks_[idx];
   task.phase = TaskPhase::kFetching;
   task.compute_start = sim_->now();
+  task.failed_fetch_sources.clear();
+  task.fetch_attempt = 0;
+  if (injector_) {
+    // One fetch stream per map-output host, drawn in ascending host order
+    // (deterministic). A host that stopped responding fails its fetch
+    // without an RNG draw; a responsive host fails with
+    // fetch_failure_prob (connection reset, read timeout). The node-local
+    // share needs no fetch.
+    const double p = plan_.fetch_failure_prob;
+    for (NodeId host = 0; host < cluster_->num_nodes(); ++host) {
+      if (host == task.node) continue;
+      if (intermediate_on_node_[host] <= 0.0) continue;
+      if (!injector_->responsive(host)) {
+        task.failed_fetch_sources.push_back(host);
+      } else if (p > 0.0 && injector_->draw_fetch_failure()) {
+        task.failed_fetch_sources.push_back(host);
+      }
+    }
+  }
   const MiBps nic = cluster_->machine(task.node).spec().nic_bandwidth;
   const SimDuration fetch =
       task.remote / nic * (1.0 - params_.shuffle_overlap);
   task.pending_event = sim_->schedule_after(
-      fetch, [this, idx]() { reduce_compute_start(idx); });
+      fetch, [this, idx]() { reduce_fetch_done(idx); });
+}
+
+void JobDriver::reduce_fetch_done(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.pending_event = kInvalidEvent;
+  if (task.failed_fetch_sources.empty()) {
+    reduce_compute_start(idx);
+    return;
+  }
+  handle_fetch_failure(idx);
+}
+
+void JobDriver::handle_fetch_failure(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  const NodeId source = task.failed_fetch_sources.front();
+  ++task.fetch_attempt;
+  record_fault(faults::FaultEventType::kFetchFailure, source, task.id,
+               task.fetch_attempt);
+  report_fetch_failure(source);
+  // The report may have re-opened the map phase and stalled this reducer
+  // (or aborted the job): the retry loop dies with it, and a later
+  // redispatch restarts the whole fetch.
+  if (done_ || task.phase != TaskPhase::kFetching) return;
+  const SimDuration backoff =
+      plan_.fetch_retry_backoff_s *
+      static_cast<double>(1u << std::min(task.fetch_attempt - 1, 10u));
+  task.pending_event =
+      sim_->schedule_after(backoff, [this, idx]() { retry_fetch(idx); });
+}
+
+void JobDriver::retry_fetch(std::size_t idx) {
+  ReduceTask& task = *reduce_tasks_[idx];
+  task.pending_event = kInvalidEvent;
+  const NodeId source = task.failed_fetch_sources.front();
+  const double p = plan_.fetch_failure_prob;
+  const bool fails = !injector_->responsive(source) ||
+                     (p > 0.0 && injector_->draw_fetch_failure());
+  if (fails) {
+    handle_fetch_failure(idx);
+    return;
+  }
+  // The retransfer succeeded (its volume is part of the base fetch window;
+  // only the backoff delay is modeled). Move on to the next failed source.
+  task.failed_fetch_sources.erase(task.failed_fetch_sources.begin());
+  task.fetch_attempt = 0;
+  if (task.failed_fetch_sources.empty()) {
+    reduce_compute_start(idx);
+  } else {
+    handle_fetch_failure(idx);
+  }
+}
+
+void JobDriver::report_fetch_failure(NodeId host) {
+  // Hadoop's AM counts fetch-failure notifications per mapper; at
+  // max_fetch_failures_per_map it declares the output lost and re-executes
+  // the map ("Too many fetch-failures"). Reports are charged to the oldest
+  // credited map on the host — deterministic, and matches Hadoop re-running
+  // mappers one at a time rather than everything on the node.
+  MapTask* victim = nullptr;
+  for (auto& owned : map_tasks_) {
+    MapTask& task = *owned;
+    if (task.node != host || !task.credited || task.output_lost) continue;
+    victim = &task;
+    break;
+  }
+  if (victim == nullptr) return;
+  if (map_fetch_reports_.size() < map_tasks_.size()) {
+    map_fetch_reports_.resize(map_tasks_.size(), 0);
+  }
+  const std::uint32_t reports = ++map_fetch_reports_[victim->id];
+  if (reports < plan_.max_fetch_failures_per_map) return;
+
+  // Too many fetch-failures: the attempt is retroactively FAILED. The
+  // re-execution counts toward the per-BU attempt limit and the host's
+  // blacklist score, exactly like a transient attempt failure.
+  record_fault(faults::FaultEventType::kMapOutputLost, host, victim->id,
+               reports);
+  map_fetch_reports_[victim->id] = 0;
+  std::uint32_t worst_attempts = 0;
+  BlockUnitId worst_bu = 0;
+  for (const BlockUnitId bu : victim->bus) {
+    const std::uint32_t attempts = ++bu_attempt_failures_[bu];
+    if (attempts > worst_attempts) {
+      worst_attempts = attempts;
+      worst_bu = bu;
+    }
+  }
+  reopen_map_phase_for_lost_outputs();
+  std::vector<BlockUnitId> reclaimed;
+  lose_map_output(*victim, reclaimed);
+  note_node_attempt_failure(host);
+  if (worst_attempts >= plan_.max_attempts) {
+    abort_job("map input unit " + std::to_string(worst_bu) + " failed " +
+              std::to_string(worst_attempts) + " attempts");
+  }
+  if (!done_) {
+    // The reclaimed BUs are unread again; if their blocks lost every
+    // replica since the map ran, the input is gone.
+    std::vector<std::uint32_t> suspects;
+    for (const BlockUnitId bu : reclaimed) {
+      suspects.push_back(layout_->bus[bu].block);
+    }
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                   suspects.end());
+    check_data_loss(suspects);
+  }
+  if (!done_) scheduler_->on_attempt_failed(*this, host, reclaimed);
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
 }
 
 double JobDriver::reduce_rate(const ReduceTask& task) const {
@@ -703,9 +858,12 @@ void JobDriver::heartbeat() {
   // declined means the scheduler wedged itself. A cluster with zero live
   // slots is excluded — that is not a scheduler wedge but a fault state
   // (either a rejoin is pending or fail_node already aborted the job).
+  // Likewise a block with no live replica: its BUs are untakeable until a
+  // holder rejoins, which is a storage stall, not a scheduler bug.
   if (!map_phase_done_ && running_map_count_ == 0 &&
       index_.unprocessed() > 0 && rm_.total_slots() > 0 &&
-      rm_.total_free() == rm_.total_slots()) {
+      rm_.total_free() == rm_.total_slots() &&
+      (!replica_mgr_ || !replica_mgr_->has_zero_replica_blocks())) {
     throw InvariantError("scheduler declined all slots with work pending");
   }
 
@@ -739,9 +897,10 @@ void JobDriver::install_faults(faults::FaultPlan plan) {
 }
 
 void JobDriver::record_fault(faults::FaultEventType type, NodeId node,
-                             TaskId task, std::uint32_t attempts) {
+                             TaskId task, std::uint32_t attempts,
+                             std::uint32_t block) {
   result_.fault_events.push_back(
-      faults::FaultEvent{sim_->now(), type, node, task, attempts});
+      faults::FaultEvent{sim_->now(), type, node, task, attempts, block});
 }
 
 void JobDriver::fail_node(NodeId node) {
@@ -757,6 +916,19 @@ void JobDriver::fail_node(NodeId node) {
   // node must be re-measured from scratch.
   round_ips_[node].reset();
   pending_ips_samples_[node].clear();
+
+  // NameNode first: the node's replicas leave the live view (and the
+  // index's local pools) before any BU is put back, so reclaimed work
+  // can only be re-taken from surviving holders.
+  hdfs::ReplicaManager::NodeLossReport replica_report;
+  if (replica_mgr_) {
+    replica_report = replica_mgr_->on_node_lost(node);
+    index_.deactivate_node(node);
+    for (const std::uint32_t block : replica_report.lost) {
+      record_fault(faults::FaultEventType::kReplicaLost, node, kInvalidTask,
+                   0, block);
+    }
+  }
 
   std::vector<BlockUnitId> reclaimed;
 
@@ -815,21 +987,7 @@ void JobDriver::fail_node(NodeId node) {
     for (auto& owned : map_tasks_) {
       MapTask& task = *owned;
       if (task.node != node || !task.credited || task.output_lost) continue;
-      task.output_lost = true;
-      task.credited = false;
-      processed_bus_ -= task.bus.size();
-      index_.put_back(task.bus);
-      reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
-      // Re-label the task's record: its work no longer counts.
-      for (auto it = result_.tasks.rbegin(); it != result_.tasks.rend();
-           ++it) {
-        if (it->id == task.id && it->kind == TaskKind::kMap) {
-          it->status = TaskStatus::kLostOutput;
-          it->num_bus = 0;
-          break;
-        }
-      }
-      task.bus.clear();
+      lose_map_output(task, reclaimed);
     }
     intermediate_on_node_[node] = 0.0;
   }
@@ -865,53 +1023,16 @@ void JobDriver::fail_node(NodeId node) {
         }
       }
       if (outputs_needed) {
-        // Close the reduce pipeline first so the slot releases below flow
-        // back into map dispatch, then stall every pre-compute reducer on
-        // a surviving node: their fetches cannot finish without the lost
-        // outputs.
-        map_phase_done_ = false;
-        reduce_ready_ = false;
-        for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
-          ReduceTask& task = *reduce_tasks_[idx];
-          if (task.node == kInvalidNode) continue;  // queued or re-queued
-          if (task.phase != TaskPhase::kStarting &&
-              task.phase != TaskPhase::kFetching) {
-            continue;
-          }
-          if (task.pending_event != kInvalidEvent) {
-            sim_->cancel(task.pending_event);
-            task.pending_event = kInvalidEvent;
-          }
-          const NodeId host = task.node;
-          task.node = kInvalidNode;
-          task.phase = TaskPhase::kStarting;
-          task.integrator.reset();
-          --running_reduce_count_;
-          reduce_requeue_.push_back(idx);
-          rm_.release(host);
-        }
         // Re-open the map phase for the dead node's credited maps (same
-        // recovery as the pre-shuffle case).
+        // recovery as the pre-shuffle case), stalling every pre-compute
+        // reducer: their fetches cannot finish without the lost outputs.
+        reopen_map_phase_for_lost_outputs();
         for (auto& owned : map_tasks_) {
           MapTask& task = *owned;
           if (task.node != node || !task.credited || task.output_lost) {
             continue;
           }
-          task.output_lost = true;
-          task.credited = false;
-          processed_bus_ -= task.bus.size();
-          index_.put_back(task.bus);
-          reclaimed.insert(reclaimed.end(), task.bus.begin(),
-                           task.bus.end());
-          for (auto it = result_.tasks.rbegin(); it != result_.tasks.rend();
-               ++it) {
-            if (it->id == task.id && it->kind == TaskKind::kMap) {
-              it->status = TaskStatus::kLostOutput;
-              it->num_bus = 0;
-              break;
-            }
-          }
-          task.bus.clear();
+          lose_map_output(task, reclaimed);
         }
         intermediate_on_node_[node] = 0.0;
       }
@@ -919,11 +1040,129 @@ void JobDriver::fail_node(NodeId node) {
   }
 
   scheduler_->on_node_failed(*this, node, reclaimed);
-  if (rm_.total_slots() == 0 &&
+  if (!done_) {
+    // Data-loss sweep: blocks that just dropped to zero live replicas,
+    // plus blocks whose BUs became unread again through the reclaims
+    // above (their replicas may have been lost in *earlier* failures).
+    std::vector<std::uint32_t> suspects = replica_report.zero;
+    for (const BlockUnitId bu : reclaimed) {
+      suspects.push_back(layout_->bus[bu].block);
+    }
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                   suspects.end());
+    check_data_loss(suspects);
+  }
+  if (!done_ && rm_.total_slots() == 0 &&
       (!injector_ || !injector_->rejoin_pending())) {
     abort_job("every node in the cluster failed");
     return;
   }
+  sim_->schedule_after(0.0, [this]() {
+    if (!done_) rm_.offer_all();
+  });
+}
+
+void JobDriver::lose_map_output(MapTask& task,
+                                std::vector<BlockUnitId>& reclaimed) {
+  task.output_lost = true;
+  task.credited = false;
+  processed_bus_ -= task.bus.size();
+  for (const BlockUnitId bu : task.bus) bu_done_[bu] = 0;
+  index_.put_back(task.bus);
+  reclaimed.insert(reclaimed.end(), task.bus.begin(), task.bus.end());
+  intermediate_on_node_[task.node] =
+      std::max(0.0, intermediate_on_node_[task.node] -
+                        task.size * job_.shuffle_ratio);
+  // Re-label the task's record: its work no longer counts.
+  for (auto it = result_.tasks.rbegin(); it != result_.tasks.rend(); ++it) {
+    if (it->id == task.id && it->kind == TaskKind::kMap) {
+      it->status = TaskStatus::kLostOutput;
+      it->num_bus = 0;
+      break;
+    }
+  }
+  task.bus.clear();
+}
+
+void JobDriver::reopen_map_phase_for_lost_outputs() {
+  // Close the reduce pipeline first so slot releases flow back into map
+  // dispatch, then stall every reducer that has not started computing —
+  // its fetch cannot finish without the lost outputs. Stalled reducers
+  // keep their queue position and redispatch once the map phase
+  // re-finishes.
+  map_phase_done_ = false;
+  reduce_ready_ = false;
+  for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
+    ReduceTask& task = *reduce_tasks_[idx];
+    if (task.node == kInvalidNode) continue;  // queued or re-queued
+    if (task.phase != TaskPhase::kStarting &&
+        task.phase != TaskPhase::kFetching) {
+      continue;
+    }
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    const NodeId host = task.node;
+    task.node = kInvalidNode;
+    task.phase = TaskPhase::kStarting;
+    task.integrator.reset();
+    --running_reduce_count_;
+    reduce_requeue_.push_back(idx);
+    rm_.release(host);
+  }
+}
+
+void JobDriver::check_data_loss(
+    const std::vector<std::uint32_t>& suspect_blocks) {
+  if (!replica_mgr_ || done_) return;
+  std::vector<std::uint32_t> lost;
+  for (const std::uint32_t block : suspect_blocks) {
+    if (replica_mgr_->live_holder_count(block) > 0) continue;
+    bool unread = false;
+    for (const BlockUnitId bu : layout_->blocks[block].bus) {
+      if (!bu_done_[bu]) {
+        unread = true;
+        break;
+      }
+    }
+    // Losing every replica of a fully-read block is harmless: its map
+    // outputs (or their re-executions) carry the data forward.
+    if (!unread) continue;
+    // A dead holder with a planned rejoin brings the replica back via its
+    // block report; the block waits instead of dooming the job.
+    bool recoverable = false;
+    for (const NodeId holder : replica_mgr_->remembered_holders(block)) {
+      if (!replica_mgr_->node_alive(holder) && injector_ &&
+          injector_->rejoin_pending(holder)) {
+        recoverable = true;
+        break;
+      }
+    }
+    if (recoverable) continue;
+    record_fault(faults::FaultEventType::kDataLoss, kInvalidNode,
+                 kInvalidTask, 0, block);
+    lost.push_back(block);
+  }
+  if (lost.empty()) return;
+  std::string ids;
+  for (const std::uint32_t block : lost) {
+    if (!ids.empty()) ids += ", ";
+    ids += std::to_string(block);
+  }
+  result_.lost_blocks.insert(result_.lost_blocks.end(), lost.begin(),
+                             lost.end());
+  abort_job("data loss: every replica of unread block " + ids + " is gone");
+}
+
+void JobDriver::on_block_re_replicated(std::uint32_t block, NodeId target) {
+  if (done_) return;
+  record_fault(faults::FaultEventType::kReReplicated, target, kInvalidTask,
+               0, block);
+  index_.add_replica(layout_->blocks[block], target);
+  scheduler_->on_block_rehosted(*this, block, target);
+  // The new local pool may unblock a scheduler that declined its slots.
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();
   });
@@ -972,6 +1211,12 @@ void JobDriver::on_node_rejoin(NodeId node) {
   round_ips_[node].reset();
   pending_ips_samples_[node].clear();
   record_fault(faults::FaultEventType::kRejoin, node);
+  if (replica_mgr_) {
+    // Block report: a crash does not wipe the disk, so every replica the
+    // node held returns to the live view and the index's local pools.
+    replica_mgr_->on_node_restored(node);
+    index_.restore_node(node);
+  }
   scheduler_->on_node_recovered(*this, node);
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();

@@ -29,6 +29,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "hdfs/block_index.hpp"
+#include "hdfs/replica_manager.hpp"
 #include "mr/job.hpp"
 #include "mr/metrics.hpp"
 #include "mr/params.hpp"
@@ -151,6 +152,9 @@ class JobDriver final : public DriverContext {
     return !blacklisted_.empty() && blacklisted_[node] != 0 &&
            !blacklist_saturated();
   }
+  bool block_readable(std::uint32_t block) const override {
+    return !replica_mgr_ || replica_mgr_->live_holder_count(block) > 0;
+  }
   std::vector<BlockUnitId> kill_and_reclaim(TaskId task) override;
 
  private:
@@ -204,6 +208,11 @@ class JobDriver final : public DriverContext {
     double fail_frac = 0;
     std::optional<RateIntegrator> integrator;
     EventId pending_event = kInvalidEvent;
+    /// Map-output hosts whose fetch failed this attempt, FIFO. The reducer
+    /// retries the front source with exponential backoff and reports each
+    /// failure to the AM (Hadoop's fetch-failure notification).
+    std::vector<NodeId> failed_fetch_sources;
+    std::uint32_t fetch_attempt = 0;  ///< Retries against the front source.
   };
 
   bool handle_offer(NodeId node);
@@ -218,6 +227,10 @@ class JobDriver final : public DriverContext {
   void enqueue_reducers();
   bool dispatch_reduce(NodeId node);
   void reduce_fetch_start(std::size_t idx);
+  void reduce_fetch_done(std::size_t idx);
+  void handle_fetch_failure(std::size_t idx);
+  void retry_fetch(std::size_t idx);
+  void report_fetch_failure(NodeId host);
   void reduce_compute_start(std::size_t idx);
   void reduce_complete(std::size_t idx);
 
@@ -236,7 +249,23 @@ class JobDriver final : public DriverContext {
   bool blacklist_saturated() const;
   void abort_job(const std::string& reason);
   void record_fault(faults::FaultEventType type, NodeId node,
-                    TaskId task = kInvalidTask, std::uint32_t attempts = 0);
+                    TaskId task = kInvalidTask, std::uint32_t attempts = 0,
+                    std::uint32_t block = faults::kInvalidBlock);
+
+  // Data-plane fault machinery (HDFS replica loss + shuffle recovery).
+  /// Discards `task`'s credited output: its BUs return to the index (and
+  /// `reclaimed`), processed counters roll back, its record is relabeled
+  /// kLostOutput.
+  void lose_map_output(MapTask& task, std::vector<BlockUnitId>& reclaimed);
+  /// Re-opens the map phase after output loss: stalls every reducer that
+  /// has not started computing and requeues it for redispatch.
+  void reopen_map_phase_for_lost_outputs();
+  /// Aborts with DataLossError semantics if any `suspect` block has zero
+  /// live replicas, unread BUs, and no dead holder with a rejoin pending.
+  void check_data_loss(const std::vector<std::uint32_t>& suspect_blocks);
+  /// NameNode re-replication pipeline callback: a copy of `block` landed
+  /// on `target`.
+  void on_block_re_replicated(std::uint32_t block, NodeId target);
 
   double map_rate(const MapTask& task) const;
   double reduce_rate(const ReduceTask& task) const;
@@ -293,6 +322,17 @@ class JobDriver final : public DriverContext {
   /// and validated at start(). Empty plan == no fault machinery at all.
   faults::FaultPlan plan_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  /// Live NameNode view (created iff the fault plan is non-empty): per-
+  /// block replica liveness plus the bandwidth-modeled re-replication
+  /// pipeline. Without faults the static layout is the truth and the
+  /// driver skips all replica bookkeeping.
+  std::unique_ptr<hdfs::ReplicaManager> replica_mgr_;
+  /// BU read state (1 == credited to a completed/partial map). Data loss
+  /// is only fatal for blocks with unread BUs.
+  std::vector<char> bu_done_;
+  /// Fetch-failure reports per map task id (Hadoop's per-mapper counter);
+  /// hitting FaultPlan::max_fetch_failures_per_map re-executes the map.
+  std::vector<std::uint32_t> map_fetch_reports_;
   /// Nodes that are dead (ground truth) but not yet declared lost by the
   /// AM: their tasks are frozen, their heartbeats stopped.
   std::set<NodeId> silent_nodes_;

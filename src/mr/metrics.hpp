@@ -98,6 +98,10 @@ struct JobResult {
   /// failures, blacklistings, abort.
   std::vector<faults::FaultEvent> fault_events;
 
+  /// Block ids whose last replica died before the block was fully read
+  /// (set only on a data-loss abort).
+  std::vector<std::uint32_t> lost_blocks;
+
   SimTime submit_time = 0;
   SimTime map_phase_start = 0;  ///< First map container dispatch.
   SimTime map_phase_end = 0;    ///< Last map container stop.
@@ -150,6 +154,20 @@ class JobAbortedError : public std::runtime_error {
 
  private:
   JobResult result_;
+};
+
+/// Thrown when the last replica of an unread block dies with no rejoin
+/// pending: HDFS has physically lost input data and no amount of retrying
+/// recovers it. The lost block ids ride along (also mirrored in
+/// result().lost_blocks).
+class DataLossError : public JobAbortedError {
+ public:
+  DataLossError(const std::string& reason, JobResult result)
+      : JobAbortedError(reason, std::move(result)) {}
+
+  const std::vector<std::uint32_t>& lost_blocks() const {
+    return result().lost_blocks;
+  }
 };
 
 }  // namespace flexmr::mr

@@ -15,6 +15,13 @@ void write_job_result(JsonWriter& writer, const JobResult& result,
   writer.field("seed", result.seed);
   writer.field("aborted", result.aborted);
   if (result.aborted) writer.field("abort_reason", result.abort_reason);
+  if (!result.lost_blocks.empty()) {
+    writer.key("lost_blocks").begin_array();
+    for (const std::uint32_t block : result.lost_blocks) {
+      writer.value(block);
+    }
+    writer.end_array();
+  }
 
   writer.key("times").begin_object();
   writer.field("submit", result.submit_time);

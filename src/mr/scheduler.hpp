@@ -116,6 +116,15 @@ class DriverContext {
     return false;
   }
 
+  /// True while `block` has at least one live replica. A block whose every
+  /// holder is down cannot be read — schedulers must not bind its BUs (the
+  /// driver is either aborting with DataLossError or waiting for a planned
+  /// rejoin). Default true: without fault injection all replicas live.
+  virtual bool block_readable(std::uint32_t block) const {
+    (void)block;
+    return true;
+  }
+
   /// Stops a running map task (SkewTune mitigation). Its consumed BU
   /// prefix is credited as PartialCompleted; the unread suffix is returned
   /// AND put back into the index for re-taking. The task's slot is freed
@@ -185,6 +194,17 @@ class Scheduler {
   /// incarnation and should be discarded.
   virtual void on_node_recovered(DriverContext& ctx, NodeId node) {
     (void)ctx;
+    (void)node;
+  }
+
+  /// The NameNode's re-replication pipeline landed a copy of `block` on
+  /// `node`: the block's unprocessed BUs just joined that node's local
+  /// pool (already reflected in the context's index). Schedulers that
+  /// precompute node→block locality must fold the new replica in.
+  virtual void on_block_rehosted(DriverContext& ctx, std::uint32_t block,
+                                 NodeId node) {
+    (void)ctx;
+    (void)block;
     (void)node;
   }
 

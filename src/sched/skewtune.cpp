@@ -75,21 +75,33 @@ TaskId SkewTuneScheduler::find_straggler(mr::DriverContext& ctx) const {
   return best;
 }
 
+std::optional<mr::MapLaunch> SkewTuneScheduler::serve_chunk(
+    mr::DriverContext& ctx) {
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    auto& chunk = chunks_[i];
+    const bool readable =
+        std::all_of(chunk.begin(), chunk.end(), [&](BlockUnitId bu) {
+          return ctx.block_readable(ctx.layout().bus[bu].block);
+        });
+    if (!readable) continue;
+    mr::MapLaunch launch;
+    launch.bus = std::move(chunk);
+    chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(i));
+    ctx.index().take_units(launch.bus);
+    launch.extra_startup_s = options_.repartition_overhead_s;
+    pending_is_mitigation_ = true;
+    return launch;
+  }
+  return std::nullopt;
+}
+
 std::optional<mr::MapLaunch> SkewTuneScheduler::on_slot_free(
     mr::DriverContext& ctx, NodeId node) {
   // Normal Hadoop dispatch while input remains.
   if (auto launch = launch_pending_block(ctx, node)) return launch;
 
   // Serve an already-planned mitigation chunk.
-  if (!chunks_.empty()) {
-    mr::MapLaunch launch;
-    launch.bus = std::move(chunks_.front());
-    chunks_.pop_front();
-    ctx.index().take_units(launch.bus);
-    launch.extra_startup_s = options_.repartition_overhead_s;
-    pending_is_mitigation_ = true;
-    return launch;
-  }
+  if (auto launch = serve_chunk(ctx)) return launch;
 
   // Idle slot, no pending work: look for a straggler worth splitting.
   const TaskId straggler = find_straggler(ctx);
@@ -113,13 +125,7 @@ std::optional<mr::MapLaunch> SkewTuneScheduler::on_slot_free(
         remaining.begin() + static_cast<std::ptrdiff_t>(end));
   }
 
-  mr::MapLaunch launch;
-  launch.bus = std::move(chunks_.front());
-  chunks_.pop_front();
-  ctx.index().take_units(launch.bus);
-  launch.extra_startup_s = options_.repartition_overhead_s;
-  pending_is_mitigation_ = true;
-  return launch;
+  return serve_chunk(ctx);
 }
 
 }  // namespace flexmr::sched

@@ -63,6 +63,10 @@ class SkewTuneScheduler final : public StockHadoopScheduler {
   /// worth it.
   TaskId find_straggler(mr::DriverContext& ctx) const;
 
+  /// Serves the first chunk whose input blocks are still readable (a chunk
+  /// of a replica-less block stays queued until a holder rejoins).
+  std::optional<mr::MapLaunch> serve_chunk(mr::DriverContext& ctx);
+
   SkewTuneOptions options_;
   std::deque<std::vector<BlockUnitId>> chunks_;  ///< Planned mitigation work.
   /// Tasks created by mitigation — never re-mitigated (SkewTune splits a

@@ -60,7 +60,11 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
     }
   }
   while (global_cursor_ < block_launched_.size()) {
-    if (!block_launched_[global_cursor_]) {
+    // Skip pending blocks with no live replica (every holder is down):
+    // their data cannot be read until a holder rejoins, at which point
+    // on_node_recovered rewinds this cursor.
+    if (!block_launched_[global_cursor_] &&
+        ctx.block_readable(global_cursor_)) {
       remote_wait_since_[node] = -1.0;
       return make_launch(global_cursor_);
     }
@@ -164,6 +168,17 @@ void StockHadoopScheduler::on_node_recovered(mr::DriverContext& ctx,
   node_cursor_[node] = 0;
   global_cursor_ = 0;
   remote_wait_since_[node] = -1.0;
+}
+
+void StockHadoopScheduler::on_block_rehosted(mr::DriverContext& ctx,
+                                             std::uint32_t block,
+                                             NodeId node) {
+  (void)ctx;
+  // The copy lands at the tail of the node's local list — at or past the
+  // node's scan cursor, so the locality scan finds it without a rewind.
+  // (A launched block is pushed too: the scan skips it, and it matters
+  // again if a failure later re-pends it.)
+  node_local_blocks_[node].push_back(block);
 }
 
 void StockHadoopScheduler::repend_reclaimed(

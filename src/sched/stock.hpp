@@ -69,8 +69,13 @@ class StockHadoopScheduler : public mr::Scheduler {
   void on_attempt_failed(mr::DriverContext& ctx, NodeId node,
                          const std::vector<BlockUnitId>& reclaimed) override;
   /// A rejoined node's local blocks become attractive again: rewind the
-  /// dispatch cursors so locality-first scanning reconsiders them.
+  /// dispatch cursors so locality-first scanning reconsiders them (and so
+  /// the global scan revisits pending blocks it skipped as unreadable).
   void on_node_recovered(mr::DriverContext& ctx, NodeId node) override;
+  /// A re-replicated copy of `block` landed on `node`: the block joins the
+  /// node's local list so locality-first dispatch can use the new copy.
+  void on_block_rehosted(mr::DriverContext& ctx, std::uint32_t block,
+                         NodeId node) override;
 
  protected:
   /// Whether block `block_id` currently has a launched map bound to it.

@@ -1,7 +1,10 @@
 // Edge cases: degenerate inputs, degenerate clusters, odd geometry.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cluster/presets.hpp"
+#include "common/error.hpp"
 #include "workloads/experiment.hpp"
 
 namespace flexmr {
@@ -91,21 +94,19 @@ TEST(EdgeCases, SingleSlotCluster) {
   EXPECT_GT(result.efficiency(), 0.98);
 }
 
-TEST(EdgeCases, BlockSizeNotMultipleOfBu) {
+TEST(EdgeCases, BlockSizeNotMultipleOfBuRejected) {
   auto cluster = cluster::presets::homogeneous6();
   RunConfig config;
   config.block_size = 60.0;  // not a multiple of 8 MiB
-  const auto result = workloads::run_job(cluster, wc(600.0),
-                                         InputScale::kSmall,
-                                         SchedulerKind::kHadoopNoSpec,
-                                         config);
-  MiB processed = 0;
-  for (const auto& task : result.tasks) {
-    if (task.kind == mr::TaskKind::kMap && task.credited()) {
-      processed += task.input_mib;
-    }
+  try {
+    workloads::run_job(cluster, wc(600.0), InputScale::kSmall,
+                       SchedulerKind::kHadoopNoSpec, config);
+    FAIL() << "expected ConfigError for indivisible block size";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("does not divide"),
+              std::string::npos)
+        << e.what();
   }
-  EXPECT_NEAR(processed, 600.0, 1e-6);
 }
 
 TEST(EdgeCases, ReplicationOne) {

@@ -144,7 +144,11 @@ TEST_P(FaultSweep, FailureAtTimeZeroStillCompletes) {
   }
 }
 
-TEST_P(FaultSweep, EveryNodeFailingAbortsCleanly) {
+TEST_P(FaultSweep, EveryNodeFailingAbortsWithDataLoss) {
+  // With replication 3 on six nodes the job does not survive long enough
+  // for "every node failed": the third crash already wipes all replicas
+  // of some unread block, so the run aborts early with a structured
+  // DataLossError naming the lost blocks.
   auto cluster = cluster::presets::homogeneous6();
   RunConfig config;
   for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
@@ -154,13 +158,26 @@ TEST_P(FaultSweep, EveryNodeFailingAbortsCleanly) {
   try {
     workloads::run_job(cluster, bench_with(4096.0, 0.25),
                        InputScale::kSmall, GetParam(), config);
-    FAIL() << "expected JobAbortedError";
-  } catch (const mr::JobAbortedError& e) {
+    FAIL() << "expected DataLossError";
+  } catch (const mr::DataLossError& e) {
     EXPECT_TRUE(e.result().aborted);
-    EXPECT_NE(e.result().abort_reason.find("every node"), std::string::npos)
+    EXPECT_NE(e.result().abort_reason.find("data loss"), std::string::npos)
         << e.result().abort_reason;
+    ASSERT_FALSE(e.lost_blocks().empty());
+    for (const std::uint32_t block : e.lost_blocks()) {
+      EXPECT_NE(e.result().abort_reason.find(std::to_string(block)),
+                std::string::npos)
+          << "block " << block << " missing from: "
+          << e.result().abort_reason;
+    }
     EXPECT_EQ(count_events(e.result(), FaultEventType::kAbort), 1u);
-    EXPECT_EQ(count_events(e.result(), FaultEventType::kCrash), 6u);
+    EXPECT_EQ(count_events(e.result(), FaultEventType::kDataLoss),
+              e.lost_blocks().size());
+    EXPECT_GT(count_events(e.result(), FaultEventType::kReplicaLost), 0u);
+    // The abort preempted the remaining crashes.
+    const auto crashes = count_events(e.result(), FaultEventType::kCrash);
+    EXPECT_GE(crashes, 3u);
+    EXPECT_LT(crashes, 6u);
   }
 }
 
@@ -211,6 +228,52 @@ TEST_P(FaultSweep, RejoinMidMapPhaseRestoresTheNode) {
   }
   EXPECT_TRUE(dispatched_after_rejoin)
       << workloads::scheduler_label(GetParam());
+}
+
+TEST_P(FaultSweep, SingleNodeLossAtReplicationThreeSurvives) {
+  // Acceptance: with replication 3 a job survives any single permanent
+  // node loss, and the NameNode restores the replication factor on the
+  // survivors (re-replication events appear in the timeline).
+  auto cluster = cluster::presets::homogeneous6();
+  RunConfig config;
+  config.faults.crashes = {NodeCrash{2, 20.0, std::nullopt, false}};
+  const auto result = workloads::run_job(
+      cluster, bench_with(4096.0, 0.25), InputScale::kSmall, GetParam(),
+      config);
+  EXPECT_FALSE(result.aborted);
+  check_exactly_once(result, 512);
+  EXPECT_GT(count_events(result, FaultEventType::kReplicaLost), 0u)
+      << workloads::scheduler_label(GetParam());
+  EXPECT_GT(count_events(result, FaultEventType::kReReplicated), 0u)
+      << workloads::scheduler_label(GetParam());
+  EXPECT_EQ(count_events(result, FaultEventType::kDataLoss), 0u);
+  // Re-replicated copies never land on the dead node.
+  for (const auto& e : result.fault_events) {
+    if (e.type == FaultEventType::kReReplicated) {
+      EXPECT_NE(e.node, 2u);
+      EXPECT_NE(e.block, faults::kInvalidBlock);
+    }
+  }
+  const std::string json = mr::job_result_json(result);
+  EXPECT_NE(json.find("\"replica-lost\""), std::string::npos);
+  EXPECT_NE(json.find("\"re-replicated\""), std::string::npos);
+}
+
+TEST_P(FaultSweep, TransientFetchFailuresRetryAndComplete) {
+  // Reducers hit transient shuffle-fetch failures, back off, retry, and
+  // the job still completes with every BU credited exactly once.
+  auto cluster = cluster::presets::homogeneous6();
+  RunConfig config;
+  config.faults.fetch_failure_prob = 0.1;
+  const auto result = workloads::run_job(
+      cluster, bench_with(2048.0, 1.0), InputScale::kSmall, GetParam(),
+      config);
+  EXPECT_FALSE(result.aborted);
+  check_exactly_once(result, 256);
+  EXPECT_GT(count_events(result, FaultEventType::kFetchFailure), 0u)
+      << workloads::scheduler_label(GetParam());
+  const std::string json = mr::job_result_json(result);
+  EXPECT_NE(json.find("\"fetch-failure\""), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -358,6 +421,137 @@ TEST(Faults, PerNodeProbabilityOverridesClusterWide) {
   EXPECT_DOUBLE_EQ(plan.attempt_failure_prob_for(3), 0.8);
   EXPECT_FALSE(plan.empty());
   EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(Faults, CrashWithoutReReplicationStillSurvivesOnRemainingReplicas) {
+  // Same single-node loss with the NameNode's re-replication disabled:
+  // the job survives on the two remaining replicas, and no re-replicated
+  // event appears in the timeline.
+  auto cluster = cluster::presets::homogeneous6();
+  RunConfig config;
+  config.faults.crashes = {NodeCrash{2, 20.0, std::nullopt, false}};
+  config.faults.re_replication = false;
+  const auto result = workloads::run_job(
+      cluster, bench_with(4096.0, 0.25), InputScale::kSmall,
+      SchedulerKind::kHadoopNoSpec, config);
+  EXPECT_FALSE(result.aborted);
+  check_exactly_once(result, 512);
+  EXPECT_GT(count_events(result, FaultEventType::kReplicaLost), 0u);
+  EXPECT_EQ(count_events(result, FaultEventType::kReReplicated), 0u);
+}
+
+TEST(Faults, KillingEveryHolderOfUnreadBlockRaisesDataLoss) {
+  // Acceptance: killing all replica holders of a block the job has not
+  // finished reading aborts with a DataLossError naming the block ids.
+  // Nodes 0, 1, 2 together hold every replica of the round-robin blocks
+  // that start on node 0; killing them in the first two seconds (before
+  // re-replication can copy more than a block or two — disabled here for
+  // determinism) guarantees loss.
+  auto cluster = cluster::presets::homogeneous6();
+  RunConfig config;
+  config.faults.re_replication = false;
+  config.faults.crashes = {NodeCrash{0, 1.0, std::nullopt, false},
+                           NodeCrash{1, 1.5, std::nullopt, false},
+                           NodeCrash{2, 2.0, std::nullopt, false}};
+  try {
+    workloads::run_job(cluster, bench_with(4096.0, 0.25),
+                       InputScale::kSmall, SchedulerKind::kHadoopNoSpec,
+                       config);
+    FAIL() << "expected DataLossError";
+  } catch (const mr::DataLossError& e) {
+    ASSERT_FALSE(e.lost_blocks().empty());
+    EXPECT_EQ(e.lost_blocks(), e.result().lost_blocks);
+    EXPECT_NE(e.result().abort_reason.find("data loss"), std::string::npos)
+        << e.result().abort_reason;
+    for (const std::uint32_t block : e.lost_blocks()) {
+      EXPECT_NE(e.result().abort_reason.find(std::to_string(block)),
+                std::string::npos);
+    }
+    EXPECT_EQ(count_events(e.result(), FaultEventType::kDataLoss),
+              e.lost_blocks().size());
+    // The partial result still carries the tasks and timeline so far.
+    EXPECT_FALSE(e.result().tasks.empty());
+    const std::string json = mr::job_result_json(e.result());
+    EXPECT_NE(json.find("\"lost_blocks\""), std::string::npos);
+    EXPECT_NE(json.find("\"data-loss\""), std::string::npos);
+  }
+}
+
+TEST(Faults, TooManyFetchFailuresReexecuteTheSourceMap) {
+  // Hadoop semantics: once a map output accumulates
+  // max_fetch_failures_per_map failure reports, the AM declares the
+  // output lost and re-executes the map. With the threshold at 1 every
+  // fetch failure immediately costs a map re-execution.
+  auto cluster = cluster::presets::homogeneous6();
+  RunConfig config;
+  config.faults.fetch_failure_prob = 0.05;
+  config.faults.max_fetch_failures_per_map = 1;
+  const auto result = workloads::run_job(
+      cluster, bench_with(2048.0, 1.0), InputScale::kSmall,
+      SchedulerKind::kHadoopNoSpec, config);
+  EXPECT_FALSE(result.aborted);
+  check_exactly_once(result, 256);
+  EXPECT_GT(count_events(result, FaultEventType::kFetchFailure), 0u);
+  EXPECT_GT(count_events(result, FaultEventType::kMapOutputLost), 0u);
+  EXPECT_GT(result.count(mr::TaskKind::kMap, mr::TaskStatus::kLostOutput),
+            0u);
+  const std::string json = mr::job_result_json(result);
+  EXPECT_NE(json.find("\"map-output-lost\""), std::string::npos);
+}
+
+TEST(Faults, FetchFailureProbMakesThePlanNonEmpty) {
+  FaultPlan plan;
+  plan.fetch_failure_prob = 0.05;
+  EXPECT_FALSE(plan.empty());
+  // Data-plane tuning knobs alone do not make a plan non-empty: with no
+  // fault source configured they can never fire.
+  FaultPlan tuned;
+  tuned.re_replication = false;
+  tuned.fetch_retry_backoff_s = 2.0;
+  tuned.max_fetch_failures_per_map = 7;
+  tuned.re_replication_bandwidth_mibps = 50.0;
+  EXPECT_TRUE(tuned.empty());
+}
+
+TEST(FaultValidation, RejectsBadDataPlaneKnobs) {
+  {
+    FaultPlan plan;
+    plan.fetch_failure_prob = 1.5;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.fetch_failure_prob = -0.1;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.fetch_retry_backoff_s = 0.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.max_fetch_failures_per_map = 0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.re_replication_bandwidth_mibps = 0.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.re_replication_bandwidth_mibps = -25.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.fetch_failure_prob = 0.2;
+    plan.fetch_retry_backoff_s = 0.5;
+    plan.max_fetch_failures_per_map = 5;
+    plan.re_replication_bandwidth_mibps = 200.0;
+    EXPECT_NO_THROW(plan.validate(6));
+  }
 }
 
 TEST(FaultValidation, RejectsStructurallyBrokenPlans) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 
 #include "cluster/presets.hpp"
@@ -57,22 +58,48 @@ const GoldenCase kCases[] = {
      0x9884f7fe650b6a4aull},
 };
 
-std::string run_case(const GoldenCase& c) {
+// Same four systems under a canonical non-empty fault plan: one silent
+// crash with rejoin plus transient attempt and shuffle-fetch failures.
+// Pins the whole fault path — injector RNG stream, replica bookkeeping,
+// re-replication pipeline, fetch retries — to a byte-stable timeline.
+const GoldenCase kFaultCases[] = {
+    {workloads::SchedulerKind::kHadoop, kLargeBlockMiB,
+     "Faults-Hadoop-128m", 0x952a3362b487103full},
+    {workloads::SchedulerKind::kHadoop, kDefaultBlockMiB,
+     "Faults-Hadoop-64m", 0x7cf851d06f8ce2afull},
+    {workloads::SchedulerKind::kSkewTune, kDefaultBlockMiB,
+     "Faults-SkewTune-64m", 0x7875762a3290af6eull},
+    {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB,
+     "Faults-FlexMap", 0x4a019693852e41faull},
+};
+
+faults::FaultPlan golden_fault_plan() {
+  faults::FaultPlan plan;
+  plan.crashes = {faults::NodeCrash{3, 25.0, 90.0, true}};
+  plan.attempt_failure_prob = 0.05;
+  plan.fetch_failure_prob = 0.05;
+  return plan;
+}
+
+std::string run_case(const GoldenCase& c, const faults::FaultPlan& plan) {
   auto cluster = cluster::presets::virtual20();
   workloads::RunConfig config;
   config.block_size = c.block_size;
   config.params.seed = 1234;
+  config.faults = plan;
   const auto result =
       workloads::run_job(cluster, workloads::benchmark("WC"),
                          workloads::InputScale::kSmall, c.kind, config);
   return mr::job_result_json(result, cluster);
 }
 
-TEST(GoldenDeterminism, JobResultJsonMatchesPreOptimizationGolden) {
+void check_goldens(const GoldenCase* cases, std::size_t n,
+                   const faults::FaultPlan& plan) {
   const bool regen = std::getenv("FLEXMR_REGEN_GOLDEN") != nullptr;
   bool all_match = true;
-  for (const auto& c : kCases) {
-    const std::uint64_t hash = fnv1a(run_case(c));
+  for (std::size_t i = 0; i < n; ++i) {
+    const GoldenCase& c = cases[i];
+    const std::uint64_t hash = fnv1a(run_case(c, plan));
     if (regen) {
       std::printf("    {workloads::SchedulerKind::k..., ..., \"%s\",\n"
                   "     0x%016llxull},\n",
@@ -85,16 +112,29 @@ TEST(GoldenDeterminism, JobResultJsonMatchesPreOptimizationGolden) {
   }
   if (regen) {
     FAIL() << "FLEXMR_REGEN_GOLDEN set: hashes printed above; update "
-              "kCases and re-run without the env var";
+              "the golden cases and re-run without the env var";
   }
   EXPECT_TRUE(all_match);
+}
+
+TEST(GoldenDeterminism, JobResultJsonMatchesPreOptimizationGolden) {
+  check_goldens(kCases, std::size(kCases), faults::FaultPlan{});
+}
+
+TEST(GoldenDeterminism, FaultTimelineMatchesGolden) {
+  check_goldens(kFaultCases, std::size(kFaultCases), golden_fault_plan());
 }
 
 // Independent of the golden constants: the same seed must give the same
 // bytes on a second in-process run (fresh cluster + scheduler instances).
 TEST(GoldenDeterminism, RepeatedRunsAreByteIdentical) {
   for (const auto& c : kCases) {
-    EXPECT_EQ(run_case(c), run_case(c)) << c.label;
+    EXPECT_EQ(run_case(c, faults::FaultPlan{}), run_case(c, faults::FaultPlan{}))
+        << c.label;
+  }
+  const auto plan = golden_fault_plan();
+  for (const auto& c : kFaultCases) {
+    EXPECT_EQ(run_case(c, plan), run_case(c, plan)) << c.label;
   }
 }
 
