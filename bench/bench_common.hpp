@@ -17,6 +17,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -47,7 +51,26 @@ struct SweepResult {
   OnlineStats jct;
   OnlineStats efficiency;
   OnlineStats productivity;
+  /// Real (host) seconds per simulation run — the perf trajectory the
+  /// BENCH_*.json series carry across PRs.
+  OnlineStats run_wall_clock;
 };
+
+/// Peak resident set size of this process so far, in KiB (ru_maxrss is
+/// KiB on Linux; converted from bytes on macOS). 0 where unsupported.
+inline std::uint64_t peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Runs |points| × |seeds| simulations in parallel over a thread pool.
 inline std::vector<SweepResult> sweep(
@@ -76,12 +99,18 @@ inline std::vector<SweepResult> sweep(
     workloads::RunConfig config;
     config.block_size = points[w.point].block_size;
     config.params.seed = w.seed;
+    const auto run_start = std::chrono::steady_clock::now();
     const auto result = workloads::run_job(cluster, bench, scale,
                                            points[w.point].kind, config);
+    const double run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
     std::lock_guard lock(mutex);
     results[w.point].jct.add(result.jct());
     results[w.point].efficiency.add(result.efficiency());
     results[w.point].productivity.add(result.mean_map_productivity());
+    results[w.point].run_wall_clock.add(run_seconds);
   });
   return results;
 }
@@ -153,6 +182,9 @@ class BenchArtifact {
       add_metric(series, "jct", result.jct);
       add_metric(series, "efficiency", result.efficiency);
       add_metric(series, "productivity", result.productivity);
+      if (result.run_wall_clock.count() > 0) {
+        add_metric(series, "run_wall_clock_s", result.run_wall_clock);
+      }
     }
   }
 
@@ -172,6 +204,7 @@ class BenchArtifact {
     writer.field("figure", figure_);
     writer.field("title", title_);
     writer.field("wall_clock_s", wall_clock_s);
+    writer.field("peak_rss_kib", peak_rss_kib());
     writer.key("seeds").begin_array();
     for (const auto seed : seeds_) writer.value(seed);
     writer.end_array();

@@ -6,6 +6,7 @@
 // examples raise it to Info.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string_view>
@@ -18,16 +19,24 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  // The level is atomic because bench harnesses set it from main while
+  // ThreadPool workers consult it through FLEXMR_LOG. Relaxed ordering
+  // suffices: a worker acting on a stale level briefly is harmless, a
+  // torn read is not.
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   void write(LogLevel level, std::string_view component,
              std::string_view message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
   std::mutex mutex_;
 };
 

@@ -1,6 +1,9 @@
 #include "faults/injector.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/tracer.hpp"
 
 namespace flexmr::faults {
 
@@ -38,6 +41,15 @@ void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
     sim.schedule_at(w.until, [machine]() {
       machine->set_fault_factor(1.0);
     });
+    if (tracer_ != nullptr) {
+      // Whole-window X span, emitted up front (the plan is static). One
+      // lane per node so overlapping windows on different nodes render
+      // side by side.
+      tracer_->complete({obs::kFaultsPid, 1 + w.node},
+                        "degradation node " + std::to_string(w.node),
+                        "fault", w.from, w.until - w.from,
+                        {{"node", w.node}, {"factor", w.factor}});
+    }
   }
 }
 

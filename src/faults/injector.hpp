@@ -20,6 +20,10 @@
 #include "faults/fault_plan.hpp"
 #include "simcore/simulator.hpp"
 
+namespace flexmr::obs {
+class EventTracer;
+}
+
 namespace flexmr::faults {
 
 class FaultInjector {
@@ -40,6 +44,11 @@ class FaultInjector {
   void set_rejoin_handler(RejoinHandler handler) {
     on_rejoin_ = std::move(handler);
   }
+
+  /// Opt-in tracing: arm() emits the plan's degradation windows as spans
+  /// on the fault-injector track (ground truth — the AM never sees them).
+  /// Install before arm(). Null disables.
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
   /// Schedules every planned crash/rejoin/degradation on `sim`. Call once,
   /// after the handlers are installed. `cluster` is needed for degradation
@@ -78,6 +87,7 @@ class FaultInjector {
   Rng rng_;
   CrashHandler on_crash_;
   RejoinHandler on_rejoin_;
+  obs::EventTracer* tracer_ = nullptr;
   std::vector<char> down_;
   std::uint32_t pending_rejoins_ = 0;
   std::vector<std::uint32_t> node_pending_rejoins_;

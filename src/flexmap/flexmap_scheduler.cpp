@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
+
 namespace flexmr::flexmap {
 
 void FlexMapScheduler::on_job_start(mr::DriverContext& ctx) {
@@ -23,10 +25,15 @@ std::optional<mr::MapLaunch> FlexMapScheduler::on_slot_free(
     mr::DriverContext& ctx, NodeId node) {
   if (ctx.index().unprocessed() == 0) return std::nullopt;
 
+  // Algorithm-1 sizing decision, traced with its inputs so a Perfetto
+  // view can answer "why did this node get a task this size?".
+  obs::ScopedSpan span(ctx.tracer(), {obs::node_pid(node), 0}, "sizing",
+                      "flexmap");
+
   // Horizontal scaling input: how fast is this node relative to the
   // slowest node the monitor has heard from?
   const double relative = monitor_->relative_speed(node);
-  std::uint32_t target = sizer_->task_size(node, relative);
+  const std::uint32_t sized = sizer_->task_size(node, relative);
 
   // End-game guard: a task that would run longer than the map phase's
   // estimated time-to-drain becomes the very straggler elasticity is meant
@@ -35,12 +42,18 @@ std::optional<mr::MapLaunch> FlexMapScheduler::on_slot_free(
   // Early in the phase the bound is far above the sizer's target; it only
   // binds near the end. (Engineering addition on top of Algorithm 1; the
   // paper relies on the input simply running out.)
-  target = std::min(target, end_game_cap(ctx, node));
+  const std::uint32_t cap = end_game_cap(ctx, node);
+  const std::uint32_t target = std::min(sized, cap);
 
   BoundSplit split = binder_->bind(node, target);
+  span.arg("relative_speed", relative);
+  span.arg("sizer_target", sized);
+  span.arg("end_game_cap", cap);
+  span.arg("bound_bus", static_cast<std::uint64_t>(split.bus.size()));
   if (split.bus.empty()) return std::nullopt;  // file exhausted
 
   last_launch_epoch_ = sizer_->epoch(node);
+  span.arg("epoch", last_launch_epoch_);
   mr::MapLaunch launch;
   launch.bus = std::move(split.bus);
   return launch;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace flexmr::hdfs {
 
@@ -55,6 +56,14 @@ ReplicaManager::NodeLossReport ReplicaManager::on_node_lost(NodeId node) {
       (in_flight_->source == node || in_flight_->target == node)) {
     sim_->cancel(in_flight_->event);
     const std::uint32_t block = in_flight_->block;
+    if (tracer_ != nullptr) {
+      tracer_->instant({obs::kNameNodePid, 0},
+                       "re-replication aborted (holder died)", "hdfs",
+                       sim_->now(),
+                       {{"block", block},
+                        {"source", in_flight_->source},
+                        {"target", in_flight_->target}});
+    }
     in_flight_.reset();
     if (queue_state_[block] == 0) {
       queue_state_[block] = 1;
@@ -148,6 +157,7 @@ void ReplicaManager::pump() {
     copy.block = block;
     copy.source = holders.front();
     copy.target = target;
+    copy.started_at = sim_->now();
     copy.event = sim_->schedule_after(
         block_bytes_[block] / bandwidth_mibps_,
         [this, block, target]() { finish_copy(block, target); });
@@ -156,6 +166,16 @@ void ReplicaManager::pump() {
 }
 
 void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
+  if (tracer_ != nullptr && in_flight_) {
+    tracer_->complete({obs::kNameNodePid, 0},
+                      "re-replicate block " + std::to_string(block), "hdfs",
+                      in_flight_->started_at,
+                      sim_->now() - in_flight_->started_at,
+                      {{"block", block},
+                       {"source", in_flight_->source},
+                       {"target", target},
+                       {"mib", block_bytes_[block]}});
+  }
   in_flight_.reset();
   live_holders_[block].push_back(target);
   disk_holders_[block].push_back(target);

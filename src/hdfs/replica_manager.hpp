@@ -44,6 +44,10 @@
 #include "hdfs/block.hpp"
 #include "simcore/simulator.hpp"
 
+namespace flexmr::obs {
+class EventTracer;
+}
+
 namespace flexmr::hdfs {
 
 class ReplicaManager {
@@ -68,6 +72,17 @@ class ReplicaManager {
 
   void set_copy_complete_handler(CopyComplete handler) {
     on_copy_complete_ = std::move(handler);
+  }
+
+  /// Opt-in tracing of the re-replication pipeline (one X span per copy,
+  /// an instant per torn-down copy). Null disables.
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+
+  /// Blocks currently below their replication factor with recovery work
+  /// outstanding: queued + parked + the in-flight copy. Feeds the
+  /// under_replicated_blocks metrics gauge.
+  std::size_t under_replicated_count() const {
+    return queue_.size() + parked_.size() + (in_flight_ ? 1 : 0);
   }
 
   /// Alive nodes whose disk holds `block` (the view LTB and the
@@ -106,6 +121,7 @@ class ReplicaManager {
     NodeId source = kInvalidNode;
     NodeId target = kInvalidNode;
     EventId event = kInvalidEvent;
+    SimTime started_at = 0;  ///< Copy start, for the trace span.
   };
 
   void enqueue(std::uint32_t block);
@@ -117,6 +133,7 @@ class ReplicaManager {
   Simulator* sim_ = nullptr;
   double bandwidth_mibps_ = 0.0;
   CopyComplete on_copy_complete_;
+  obs::EventTracer* tracer_ = nullptr;
 
   std::vector<std::vector<NodeId>> live_holders_;  // per block
   std::vector<std::vector<NodeId>> disk_holders_;  // per block

@@ -124,6 +124,8 @@ void JobDriver::start() {
         [this](NodeId n, MiBps) { on_speed_change(n); }));
   }
 
+  trace_setup();
+
   scheduler_->on_job_start(*this);
 
   if (injector_) injector_->arm(*sim_, *cluster_);
@@ -143,6 +145,10 @@ JobResult JobDriver::run() {
     if (!sim_->step()) {
       throw InvariantError("simulation ran dry before job completion");
     }
+    // Pull-based sampling: the registry emits rows for cadence ticks the
+    // simulator just crossed. Never schedules events, so the event-queue
+    // counters in the golden hashes stay identical with tracing on/off.
+    if (trace_ != nullptr) trace_->metrics().maybe_sample(sim_->now());
   }
   if (result_.aborted) {
     if (!result_.lost_blocks.empty()) {
@@ -257,6 +263,7 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
   map_tasks_.push_back(std::move(task));
   live_map_ids_.push_back(id);  // ids are dispatch-ordered, so this stays
                                 // ascending without a sort
+  if (tracer_ != nullptr) trace_map_begin(*map_tasks_[id]);
   scheduler_->on_map_dispatch(*this, id, node);
 }
 
@@ -272,6 +279,11 @@ void JobDriver::map_compute_start(TaskId id) {
   task.phase = TaskPhase::kComputing;
   task.compute_start = sim_->now();
   task.integrator.emplace(task.size, map_rate(task), sim_->now());
+  if (tracer_ != nullptr) {
+    tracer_->task_child_end(id, task.compute_start);
+    tracer_->task_child_begin(id, "compute", task.compute_start,
+                              {{"rate_mibps", map_rate(task)}});
+  }
   if (task.planned_fault == PlannedFault::kAttemptFail) {
     // The attempt dies fail_frac of the way to its projected completion
     // (wall-clock moment — later speed changes re-rate the integrator but
@@ -338,6 +350,18 @@ void JobDriver::map_complete(TaskId id) {
   record_map(task, TaskStatus::kCompleted, task.size,
              static_cast<std::uint32_t>(task.bus.size()));
   const TaskRecord completed_rec = result_.tasks.back();
+  if (tracer_ != nullptr) {
+    tracer_->task_end(id, sim_->now(),
+                      {{"status", "completed"},
+                       {"productivity", completed_rec.productivity()}});
+    ctr_maps_completed_->inc();
+    auto& metrics = trace_->metrics();
+    metrics.histogram("map.total_runtime_s")
+        .record(completed_rec.total_runtime());
+    metrics.histogram("map.effective_runtime_s")
+        .record(completed_rec.effective_runtime());
+    metrics.histogram("map.input_mib").record(completed_rec.input_mib);
+  }
 
   // IPS sample at completion, folded into the node's next heartbeat round
   // (tasks shorter than a heartbeat would otherwise never report). We use
@@ -379,6 +403,11 @@ void JobDriver::kill_map(TaskId id, TaskStatus final_status) {
   const MiB consumed =
       task.integrator ? task.integrator->done(sim_->now()) : 0.0;
   record_map(task, final_status, consumed, 0);
+  if (tracer_ != nullptr) {
+    trace_task_closed(id, to_string(final_status), "twin finished first",
+                      consumed);
+    ctr_speculative_kills_->inc();
+  }
   rm_.release(node);  // `task` may dangle past this point
 }
 
@@ -425,6 +454,8 @@ std::vector<BlockUnitId> JobDriver::kill_and_reclaim(TaskId id) {
                             : TaskStatus::kKilled,
              acc, static_cast<std::uint32_t>(kept));
   const TaskRecord partial_rec = result_.tasks.back();
+  trace_task_closed(id, kept > 0 ? "partial" : "killed", "skewtune reclaim",
+                    acc);
   if (kept > 0) scheduler_->on_map_complete(*this, partial_rec);
 
   index_.put_back(remaining);
@@ -444,6 +475,7 @@ void JobDriver::finish_map_phase() {
                     "map phase ended with running maps");
   FLEXMR_ASSERT(index_.unprocessed() == 0);
   map_phase_done_ = true;
+  trace_end_phase();
   if (job_.map_only()) {
     finish_job();
     return;
@@ -452,6 +484,7 @@ void JobDriver::finish_map_phase() {
   // loss during the shuffle; the survivors keep their progress and the
   // stalled ones sit in reduce_requeue_.
   if (reduce_tasks_.empty()) enqueue_reducers();
+  trace_begin_phase("reduce phase");
   // Reduce dispatch waits for the deferred offer_all below: otherwise the
   // slot release of the *last finishing map* — almost always on the
   // slowest node — would synchronously grab the first (largest) reducer.
@@ -576,6 +609,17 @@ bool JobDriver::dispatch_reduce(NodeId node) {
     task.pending_event = sim_->schedule_after(
         startup, [this, idx]() { reduce_fetch_start(idx); });
   }
+  if (tracer_ != nullptr) {
+    tracer_->task_begin(obs::node_pid(node), task.id,
+                        "reduce " + std::to_string(idx), "reduce",
+                        task.dispatch_time,
+                        {{"input_mib", task.input},
+                         {"remote_mib", task.remote},
+                         {"share", task.share},
+                         {"requeued", from_requeue}});
+    tracer_->task_child_begin(task.id, "startup", task.dispatch_time);
+    ctr_reduces_dispatched_->inc();
+  }
   return true;
 }
 
@@ -605,6 +649,14 @@ void JobDriver::reduce_fetch_start(std::size_t idx) {
   const MiBps nic = cluster_->machine(task.node).spec().nic_bandwidth;
   const SimDuration fetch =
       task.remote / nic * (1.0 - params_.shuffle_overlap);
+  if (tracer_ != nullptr) {
+    tracer_->task_child_end(task.id, sim_->now());
+    tracer_->task_child_begin(
+        task.id, "shuffle-fetch", sim_->now(),
+        {{"remote_mib", task.remote},
+         {"failed_sources",
+          static_cast<std::uint64_t>(task.failed_fetch_sources.size())}});
+  }
   task.pending_event = sim_->schedule_after(
       fetch, [this, idx]() { reduce_fetch_done(idx); });
 }
@@ -623,6 +675,18 @@ void JobDriver::handle_fetch_failure(std::size_t idx) {
   ReduceTask& task = *reduce_tasks_[idx];
   const NodeId source = task.failed_fetch_sources.front();
   ++task.fetch_attempt;
+  const SimDuration backoff =
+      plan_.fetch_retry_backoff_s *
+      static_cast<double>(1u << std::min(task.fetch_attempt - 1, 10u));
+  if (tracer_ != nullptr) {
+    // Emit before the report below: it may stall this reducer and close
+    // its span, and the failure instant belongs inside it.
+    tracer_->task_instant(task.id, "fetch-failure", sim_->now(),
+                          {{"source", source},
+                           {"attempt", task.fetch_attempt},
+                           {"backoff_s", backoff}});
+    ctr_fetch_failures_->inc();
+  }
   record_fault(faults::FaultEventType::kFetchFailure, source, task.id,
                task.fetch_attempt);
   report_fetch_failure(source);
@@ -630,9 +694,6 @@ void JobDriver::handle_fetch_failure(std::size_t idx) {
   // (or aborted the job): the retry loop dies with it, and a later
   // redispatch restarts the whole fetch.
   if (done_ || task.phase != TaskPhase::kFetching) return;
-  const SimDuration backoff =
-      plan_.fetch_retry_backoff_s *
-      static_cast<double>(1u << std::min(task.fetch_attempt - 1, 10u));
   task.pending_event =
       sim_->schedule_after(backoff, [this, idx]() { retry_fetch(idx); });
 }
@@ -728,6 +789,10 @@ double JobDriver::reduce_rate(const ReduceTask& task) const {
 void JobDriver::reduce_compute_start(std::size_t idx) {
   ReduceTask& task = *reduce_tasks_[idx];
   task.phase = TaskPhase::kComputing;
+  if (tracer_ != nullptr) {
+    tracer_->task_child_end(task.id, sim_->now());
+    tracer_->task_child_begin(task.id, "compute", sim_->now());
+  }
   if (task.input <= 0.0) {
     task.pending_event = kInvalidEvent;
     reduce_complete(idx);
@@ -765,6 +830,14 @@ void JobDriver::reduce_complete(std::size_t idx) {
   rec.phase_progress_at_end = 1.0;
   result_.tasks.push_back(rec);
 
+  if (tracer_ != nullptr) {
+    tracer_->task_end(rec.id, sim_->now(), {{"status", "completed"}});
+    ctr_reduces_completed_->inc();
+    auto& metrics = trace_->metrics();
+    metrics.histogram("reduce.total_runtime_s").record(rec.total_runtime());
+    metrics.histogram("reduce.input_mib").record(rec.input_mib);
+  }
+
   ++reducers_done_;
   if (reducers_done_ == reduce_tasks_.size()) {
     finish_job();
@@ -774,6 +847,7 @@ void JobDriver::reduce_complete(std::size_t idx) {
 }
 
 void JobDriver::finish_job() {
+  trace_finish();
   done_ = true;
   result_.finish_time = sim_->now();
   if (result_.map_phase_end == 0) result_.map_phase_end = sim_->now();
@@ -867,6 +941,16 @@ void JobDriver::heartbeat() {
     throw InvariantError("scheduler declined all slots with work pending");
   }
 
+  if (tracer_ != nullptr) {
+    ctr_heartbeats_->inc();
+    tracer_->counter(obs::kJobPid, "running_maps", sim_->now(),
+                     static_cast<double>(running_map_count_));
+    tracer_->counter(obs::kJobPid, "running_reduces", sim_->now(),
+                     static_cast<double>(running_reduce_count_));
+    tracer_->counter(obs::kJobPid, "free_containers", sim_->now(),
+                     static_cast<double>(rm_.total_free()));
+  }
+
   sim_->schedule_after(params_.heartbeat_period_s, [this]() { heartbeat(); });
 }
 
@@ -901,6 +985,16 @@ void JobDriver::record_fault(faults::FaultEventType type, NodeId node,
                              std::uint32_t block) {
   result_.fault_events.push_back(
       faults::FaultEvent{sim_->now(), type, node, task, attempts, block});
+  if (tracer_ != nullptr) {
+    obs::TraceArgs args;
+    if (node != kInvalidNode) args.emplace_back("node", node);
+    if (task != kInvalidTask) args.emplace_back("task", task);
+    if (attempts != 0) args.emplace_back("attempts", attempts);
+    if (block != faults::kInvalidBlock) args.emplace_back("block", block);
+    tracer_->instant({obs::kFaultsPid, 0}, faults::to_string(type), "fault",
+                     sim_->now(), std::move(args));
+    ctr_fault_events_->inc();
+  }
 }
 
 void JobDriver::fail_node(NodeId node) {
@@ -947,6 +1041,10 @@ void JobDriver::fail_node(NodeId node) {
     const MiB consumed =
         task.integrator ? task.integrator->done(sim_->now()) : 0.0;
     record_map(task, TaskStatus::kKilled, consumed, 0);
+    if (tracer_ != nullptr) {
+      trace_task_closed(task.id, "killed", "node lost", consumed);
+      ctr_maps_killed_->inc();
+    }
     if (task.twin != kInvalidTask) {
       MapTask& twin = *map_tasks_[task.twin];
       const bool twin_survives =
@@ -1005,6 +1103,10 @@ void JobDriver::fail_node(NodeId node) {
       if (task.pending_event != kInvalidEvent) {
         sim_->cancel(task.pending_event);
         task.pending_event = kInvalidEvent;
+      }
+      if (tracer_ != nullptr && tracer_->task_open(task.id)) {
+        tracer_->task_end(task.id, sim_->now(),
+                          {{"status", "requeued"}, {"reason", "node lost"}});
       }
       task.node = kInvalidNode;
       task.phase = TaskPhase::kStarting;
@@ -1065,6 +1167,12 @@ void JobDriver::fail_node(NodeId node) {
 
 void JobDriver::lose_map_output(MapTask& task,
                                 std::vector<BlockUnitId>& reclaimed) {
+  if (tracer_ != nullptr) {
+    tracer_->instant({obs::node_pid(task.node), 0}, "map-output-lost",
+                     "fault", sim_->now(),
+                     {{"task", task.id},
+                      {"bus", static_cast<std::uint64_t>(task.bus.size())}});
+  }
   task.output_lost = true;
   task.credited = false;
   processed_bus_ -= task.bus.size();
@@ -1093,6 +1201,8 @@ void JobDriver::reopen_map_phase_for_lost_outputs() {
   // re-finishes.
   map_phase_done_ = false;
   reduce_ready_ = false;
+  trace_end_phase();
+  trace_begin_phase("map phase (reopened)");
   for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
     ReduceTask& task = *reduce_tasks_[idx];
     if (task.node == kInvalidNode) continue;  // queued or re-queued
@@ -1103,6 +1213,11 @@ void JobDriver::reopen_map_phase_for_lost_outputs() {
     if (task.pending_event != kInvalidEvent) {
       sim_->cancel(task.pending_event);
       task.pending_event = kInvalidEvent;
+    }
+    if (tracer_ != nullptr && tracer_->task_open(task.id)) {
+      tracer_->task_end(
+          task.id, sim_->now(),
+          {{"status", "requeued"}, {"reason", "map output lost"}});
     }
     const NodeId host = task.node;
     task.node = kInvalidNode;
@@ -1184,6 +1299,9 @@ void JobDriver::on_node_silent(NodeId node) {
       task.pending_event = kInvalidEvent;
     }
     if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
+    if (tracer_ != nullptr && tracer_->task_open(id)) {
+      tracer_->task_instant(id, "frozen (node silent)", sim_->now());
+    }
   }
   for (auto& owned : reduce_tasks_) {
     ReduceTask& task = *owned;
@@ -1193,6 +1311,9 @@ void JobDriver::on_node_silent(NodeId node) {
       task.pending_event = kInvalidEvent;
     }
     if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
+    if (tracer_ != nullptr && tracer_->task_open(task.id)) {
+      tracer_->task_instant(task.id, "frozen (node silent)", sim_->now());
+    }
   }
 }
 
@@ -1235,6 +1356,9 @@ void JobDriver::map_attempt_fail(TaskId id) {
   const MiB consumed =
       task.integrator ? task.integrator->done(sim_->now()) : 0.0;
   record_map(task, TaskStatus::kFailed, consumed, 0);
+  trace_task_closed(id, "failed",
+                    launch_failure ? "launch failure" : "attempt failure",
+                    consumed);
 
   std::vector<BlockUnitId> reclaimed;
   std::uint32_t worst_attempts = 0;
@@ -1302,6 +1426,13 @@ void JobDriver::reduce_attempt_fail(std::size_t idx) {
   rec.input_mib = consumed;
   rec.phase_progress_at_end = 1.0;
   result_.tasks.push_back(rec);
+  if (tracer_ != nullptr && tracer_->task_open(rec.id)) {
+    tracer_->task_end(
+        rec.id, sim_->now(),
+        {{"status", "failed"},
+         {"reason", launch_failure ? "launch failure" : "attempt failure"},
+         {"consumed_mib", consumed}});
+  }
 
   --running_reduce_count_;
   task.node = kInvalidNode;
@@ -1420,6 +1551,158 @@ std::optional<MiBps> JobDriver::observed_ips(NodeId node) const {
 double JobDriver::map_phase_progress() const {
   return static_cast<double>(processed_bus_) /
          static_cast<double>(layout_->bus.size());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing (opt-in; every helper is a no-op when no session is installed)
+// ---------------------------------------------------------------------------
+
+void JobDriver::set_trace(obs::TraceSession* trace) {
+  FLEXMR_ASSERT_MSG(!started_, "install tracing before run()");
+  trace_ = trace;
+}
+
+void JobDriver::trace_setup() {
+  if (trace_ == nullptr) return;
+  tracer_ = &trace_->tracer();
+  tracer_->set_clock([this]() { return sim_->now(); });
+  tracer_->set_process_name(
+      obs::kJobPid, "job " + job_.name + " [" + scheduler_->name() + "]");
+  tracer_->set_thread_name(obs::kJobPid, 0, "phases");
+  for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+    tracer_->set_process_name(
+        obs::node_pid(node), "node " + std::to_string(node) + " (" +
+                                 cluster_->machine(node).spec().model + ")");
+    tracer_->set_thread_name(obs::node_pid(node), 0, "scheduler");
+  }
+  if (replica_mgr_) {
+    tracer_->set_process_name(obs::kNameNodePid, "hdfs namenode");
+    tracer_->set_thread_name(obs::kNameNodePid, 0, "re-replication");
+    replica_mgr_->set_tracer(tracer_);
+  }
+  if (injector_) {
+    tracer_->set_process_name(obs::kFaultsPid, "fault injector");
+    tracer_->set_thread_name(obs::kFaultsPid, 0, "ground truth");
+    injector_->set_tracer(tracer_);
+  }
+
+  // All instruments are registered up front: the registry's column layout
+  // freezes at the first sampled row.
+  auto& metrics = trace_->metrics();
+  ctr_maps_dispatched_ = &metrics.counter("maps_dispatched");
+  ctr_maps_completed_ = &metrics.counter("maps_completed");
+  ctr_maps_killed_ = &metrics.counter("maps_killed");
+  ctr_speculative_kills_ = &metrics.counter("speculative_kills");
+  ctr_reduces_dispatched_ = &metrics.counter("reduces_dispatched");
+  ctr_reduces_completed_ = &metrics.counter("reduces_completed");
+  ctr_fetch_failures_ = &metrics.counter("fetch_failures");
+  ctr_fault_events_ = &metrics.counter("fault_events");
+  ctr_heartbeats_ = &metrics.counter("heartbeats");
+  metrics.histogram("map.total_runtime_s");
+  metrics.histogram("map.effective_runtime_s");
+  metrics.histogram("map.input_mib");
+  metrics.histogram("reduce.total_runtime_s");
+  metrics.histogram("reduce.input_mib");
+
+  metrics.register_gauge("cluster_utilization", [this]() {
+    const double total = static_cast<double>(rm_.total_slots());
+    return total > 0 ? (total - static_cast<double>(rm_.total_free())) / total
+                     : 0.0;
+  });
+  metrics.register_gauge("rm_free_containers", [this]() {
+    return static_cast<double>(rm_.total_free());
+  });
+  metrics.register_gauge("pending_map_bus", [this]() {
+    return static_cast<double>(index_.unprocessed());
+  });
+  metrics.register_gauge("pending_reducers", [this]() {
+    return static_cast<double>(reduce_tasks_.size() - next_reducer_ +
+                               reduce_requeue_.size());
+  });
+  metrics.register_gauge("running_maps", [this]() {
+    return static_cast<double>(running_map_count_);
+  });
+  metrics.register_gauge("running_reduces", [this]() {
+    return static_cast<double>(running_reduce_count_);
+  });
+  metrics.register_gauge("in_flight_fetches", [this]() {
+    std::size_t fetching = 0;
+    for (const auto& owned : reduce_tasks_) {
+      if (owned->phase == TaskPhase::kFetching) ++fetching;
+    }
+    return static_cast<double>(fetching);
+  });
+  metrics.register_gauge("under_replicated_blocks", [this]() {
+    return replica_mgr_ ? static_cast<double>(
+                              replica_mgr_->under_replicated_count())
+                        : 0.0;
+  });
+  if (trace_->options().per_node_gauges) {
+    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+      metrics.register_gauge(
+          "node" + std::to_string(node) + "_ips_mibps", [this, node]() {
+            return round_ips_[node] ? *round_ips_[node] : 0.0;
+          });
+    }
+  }
+
+  trace_begin_phase("map phase");
+}
+
+void JobDriver::trace_begin_phase(const char* name) {
+  if (tracer_ == nullptr) return;
+  tracer_->begin({obs::kJobPid, 0}, name, "phase", sim_->now());
+  trace_phase_open_ = true;
+}
+
+void JobDriver::trace_end_phase() {
+  if (tracer_ == nullptr || !trace_phase_open_) return;
+  tracer_->end({obs::kJobPid, 0}, sim_->now());
+  trace_phase_open_ = false;
+}
+
+void JobDriver::trace_map_begin(const MapTask& task) {
+  std::string name = "map " + std::to_string(task.id);
+  if (task.speculative) {
+    name += " (spec of " + std::to_string(task.twin) + ")";
+  }
+  tracer_->task_begin(
+      obs::node_pid(task.node), task.id, std::move(name), "map",
+      task.dispatch_time,
+      {{"num_bus", static_cast<std::uint64_t>(task.bus.size())},
+       {"size_mib", task.size},
+       {"avg_cost", task.avg_cost},
+       {"local_fraction", task.local_fraction},
+       {"speculative", task.speculative}});
+  tracer_->task_child_begin(task.id, "startup", task.dispatch_time);
+  ctr_maps_dispatched_->inc();
+}
+
+void JobDriver::trace_task_closed(TaskId id, const char* status,
+                                  const char* reason, MiB consumed) {
+  if (tracer_ == nullptr || !tracer_->task_open(id)) return;
+  tracer_->task_end(id, sim_->now(),
+                    {{"status", status},
+                     {"reason", reason},
+                     {"consumed_mib", consumed}});
+}
+
+void JobDriver::trace_finish() {
+  if (trace_ == nullptr) return;
+  // Close anything still open in deterministic id order (the internal
+  // open-task map is unordered); aborted jobs leave spans dangling.
+  for (const auto& owned : map_tasks_) {
+    if (tracer_->task_open(owned->id)) {
+      tracer_->task_end(owned->id, sim_->now(), {{"status", "unfinished"}});
+    }
+  }
+  for (const auto& owned : reduce_tasks_) {
+    if (tracer_->task_open(owned->id)) {
+      tracer_->task_end(owned->id, sim_->now(), {{"status", "unfinished"}});
+    }
+  }
+  trace_end_phase();
+  trace_->metrics().sample_now(sim_->now());
 }
 
 }  // namespace flexmr::mr

@@ -34,6 +34,7 @@
 #include "mr/metrics.hpp"
 #include "mr/params.hpp"
 #include "mr/scheduler.hpp"
+#include "obs/session.hpp"
 #include "simcore/rate_integrator.hpp"
 #include "simcore/simulator.hpp"
 #include "yarn/resource_manager.hpp"
@@ -104,6 +105,13 @@ class JobDriver final : public DriverContext {
   /// entries are merged in as non-silent crashes.
   void install_faults(faults::FaultPlan plan);
 
+  /// Opt-in tracing: spans/instants for every task lifecycle plus a
+  /// metrics time series sampled from the run loop. Must be installed
+  /// before start(); the session must outlive the driver's run (its
+  /// gauges read driver state at sample time). Null (the default) keeps
+  /// every instrumentation site on a pointer-test fast path.
+  void set_trace(obs::TraceSession* trace);
+
   // --- DriverContext ---
   SimTime now() const override { return sim_->now(); }
   const JobSpec& job() const override { return job_; }
@@ -155,6 +163,7 @@ class JobDriver final : public DriverContext {
   bool block_readable(std::uint32_t block) const override {
     return !replica_mgr_ || replica_mgr_->live_holder_count(block) > 0;
   }
+  obs::EventTracer* tracer() const override { return tracer_; }
   std::vector<BlockUnitId> kill_and_reclaim(TaskId task) override;
 
  private:
@@ -272,6 +281,15 @@ class JobDriver final : public DriverContext {
   void reschedule_map_completion(MapTask& task);
   void finish_job();
 
+  // Tracing helpers (all no-ops when trace_ is null).
+  void trace_setup();
+  void trace_begin_phase(const char* name);
+  void trace_end_phase();
+  void trace_map_begin(const MapTask& task);
+  void trace_task_closed(TaskId id, const char* status, const char* reason,
+                         MiB consumed);
+  void trace_finish();
+
   Simulator* sim_;
   cluster::Cluster* cluster_;
   const hdfs::FileLayout* layout_;
@@ -351,6 +369,23 @@ class JobDriver final : public DriverContext {
   bool map_phase_done_ = false;
   bool done_ = false;
   bool started_ = false;
+
+  /// Opt-in observability (null unless set_trace was called). tracer_
+  /// caches &trace_->tracer() so hot paths test one pointer; the counter
+  /// pointers are registered in trace_setup() and stay valid for the
+  /// session's lifetime.
+  obs::TraceSession* trace_ = nullptr;
+  obs::EventTracer* tracer_ = nullptr;
+  bool trace_phase_open_ = false;
+  obs::MetricsRegistry::Counter* ctr_maps_dispatched_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_maps_completed_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_maps_killed_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_speculative_kills_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_reduces_dispatched_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_reduces_completed_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_fetch_failures_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_fault_events_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_heartbeats_ = nullptr;
 
   JobResult result_;
 };

@@ -26,6 +26,10 @@
 #include "mr/metrics.hpp"
 #include "mr/params.hpp"
 
+namespace flexmr::obs {
+class EventTracer;
+}
+
 namespace flexmr::mr {
 
 /// Snapshot of one running (or starting) map task, as visible to an AM.
@@ -124,6 +128,12 @@ class DriverContext {
     (void)block;
     return true;
   }
+
+  /// The run's tracing sink, or nullptr when tracing is disabled (the
+  /// default). Schedulers may emit spans/instants describing their
+  /// decisions (sizing inputs, speculation verdicts, mitigation plans);
+  /// they must only *write* to it — a tracer is never an input to policy.
+  virtual obs::EventTracer* tracer() const { return nullptr; }
 
   /// Stops a running map task (SkewTune mitigation). Its consumed BU
   /// prefix is credited as PartialCompleted; the unread suffix is returned

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/session.hpp"
 
 namespace flexmr::mr {
 
@@ -100,6 +103,95 @@ std::string gantt(const JobResult& result, const cluster::Cluster& cluster,
     os << " slot " << lane.slot << " |" << lane.row << "|\n";
   }
   return os.str();
+}
+
+std::string job_result_trace_json(const JobResult& result) {
+  obs::TraceSession session;
+  session.set_metadata("source", "job_result replay");
+  session.set_metadata("benchmark", result.benchmark);
+  session.set_metadata("scheduler", result.scheduler);
+  session.set_metadata("seed", std::to_string(result.seed));
+  obs::EventTracer& tracer = session.tracer();
+
+  tracer.set_process_name(obs::kJobPid,
+                          "job " + result.benchmark + " [" +
+                              result.scheduler + "]");
+  tracer.set_thread_name(obs::kJobPid, 0, "phases");
+  tracer.complete({obs::kJobPid, 0}, "job", "phase", result.submit_time,
+                  result.finish_time - result.submit_time,
+                  {{"aborted", result.aborted}});
+  if (result.map_phase_end > result.map_phase_start) {
+    tracer.complete({obs::kJobPid, 0}, "map phase", "phase",
+                    result.map_phase_start,
+                    result.map_phase_end - result.map_phase_start, {});
+  }
+
+  // Greedy per-node lane packing, as in gantt: tasks sorted by dispatch
+  // take the lowest lane free at their dispatch time. Unlike gantt the
+  // lane count is not capped at the slot count (a JobResult alone does
+  // not know the cluster), so overlap never collides.
+  std::vector<const TaskRecord*> sorted;
+  sorted.reserve(result.tasks.size());
+  for (const auto& task : result.tasks) sorted.push_back(&task);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaskRecord* a, const TaskRecord* b) {
+              if (a->dispatch_time != b->dispatch_time) {
+                return a->dispatch_time < b->dispatch_time;
+              }
+              return a->id < b->id;
+            });
+  std::unordered_map<NodeId, std::vector<SimTime>> lanes;
+  for (const TaskRecord* task : sorted) {
+    const std::uint32_t pid = obs::node_pid(task->node);
+    auto [it, inserted] = lanes.try_emplace(task->node);
+    if (inserted) {
+      tracer.set_process_name(pid,
+                              "node " + std::to_string(task->node));
+    }
+    auto& busy_until = it->second;
+    std::size_t lane = 0;
+    while (lane < busy_until.size() &&
+           busy_until[lane] > task->dispatch_time + 1e-9) {
+      ++lane;
+    }
+    if (lane == busy_until.size()) {
+      busy_until.push_back(0.0);
+      tracer.set_thread_name(pid, static_cast<std::uint32_t>(lane + 1),
+                             "lane " + std::to_string(lane + 1));
+    }
+    busy_until[lane] = task->end_time;
+
+    std::string name = std::string(to_string(task->kind)) + ' ' +
+                       std::to_string(task->id);
+    if (task->speculative) name += " (spec)";
+    tracer.complete({pid, static_cast<std::uint32_t>(lane + 1)},
+                    std::move(name), to_string(task->kind),
+                    task->dispatch_time,
+                    task->end_time - task->dispatch_time,
+                    {{"status", to_string(task->status)},
+                     {"input_mib", task->input_mib},
+                     {"num_bus", task->num_bus},
+                     {"compute_start", task->compute_start},
+                     {"productivity", task->productivity()}});
+  }
+
+  if (!result.fault_events.empty()) {
+    tracer.set_process_name(obs::kFaultsPid, "fault timeline");
+    tracer.set_thread_name(obs::kFaultsPid, 0, "events");
+    for (const auto& ev : result.fault_events) {
+      obs::TraceArgs args;
+      if (ev.node != kInvalidNode) args.emplace_back("node", ev.node);
+      if (ev.task != kInvalidTask) args.emplace_back("task", ev.task);
+      if (ev.attempts != 0) args.emplace_back("attempts", ev.attempts);
+      if (ev.block != faults::kInvalidBlock) {
+        args.emplace_back("block", ev.block);
+      }
+      tracer.instant({obs::kFaultsPid, 0}, faults::to_string(ev.type),
+                     "fault", ev.time, std::move(args));
+    }
+  }
+
+  return session.trace_json();
 }
 
 }  // namespace flexmr::mr

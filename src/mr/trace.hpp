@@ -20,4 +20,11 @@ std::string trace_csv(const JobResult& result);
 std::string gantt(const JobResult& result, const cluster::Cluster& cluster,
                   std::size_t width = 100);
 
+/// Replay converter: rebuilds a flexmr.trace.v1 document from a finished
+/// JobResult — one X span per task record (greedily packed onto per-node
+/// lanes, like gantt), job/map-phase spans on the job track, and the fault
+/// timeline as instants. Coarser than a live trace (no per-phase children,
+/// no metrics rows) but available for any run after the fact.
+std::string job_result_trace_json(const JobResult& result);
+
 }  // namespace flexmr::mr

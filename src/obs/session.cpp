@@ -1,0 +1,30 @@
+#include "obs/session.hpp"
+
+#include "common/json.hpp"
+
+namespace flexmr::obs {
+
+TraceSession::TraceSession(TraceOptions options)
+    : options_(options), metrics_(options.metrics_cadence_s) {}
+
+void TraceSession::set_metadata(const std::string& key, std::string value) {
+  metadata_[key] = std::move(value);
+}
+
+std::string TraceSession::trace_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", kSchema);
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  for (const auto& [key, value] : metadata_) w.field(key, value);
+  w.end_object();
+  w.key("metrics");
+  metrics_.write_json(w);
+  w.key("traceEvents");
+  tracer_.write_trace_events(w);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace flexmr::obs

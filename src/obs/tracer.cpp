@@ -1,0 +1,277 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace flexmr::obs {
+
+void EventTracer::set_clock(Clock clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+SimTime EventTracer::clock_now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_ ? clock_() : 0.0;
+}
+
+void EventTracer::set_process_name(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void EventTracer::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t key = (static_cast<std::uint64_t>(pid) << 32) | tid;
+  thread_names_[key] = std::move(name);
+}
+
+void EventTracer::record(Event ev) {
+  FLEXMR_ASSERT_MSG(ev.ts >= 0.0, "trace timestamps are sim-relative");
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void EventTracer::begin(Track t, std::string name, std::string cat,
+                        SimTime ts, TraceArgs args) {
+  record({Phase::kBegin, t.pid, t.tid, ts, 0.0, std::move(name),
+          std::move(cat), std::move(args)});
+}
+
+void EventTracer::end(Track t, SimTime ts, TraceArgs args) {
+  record({Phase::kEnd, t.pid, t.tid, ts, 0.0, {}, {}, std::move(args)});
+}
+
+void EventTracer::complete(Track t, std::string name, std::string cat,
+                           SimTime ts, SimDuration dur, TraceArgs args) {
+  FLEXMR_ASSERT(dur >= 0.0);
+  record({Phase::kComplete, t.pid, t.tid, ts, dur, std::move(name),
+          std::move(cat), std::move(args)});
+}
+
+void EventTracer::instant(Track t, std::string name, std::string cat,
+                          SimTime ts, TraceArgs args) {
+  record({Phase::kInstant, t.pid, t.tid, ts, 0.0, std::move(name),
+          std::move(cat), std::move(args)});
+}
+
+void EventTracer::counter(std::uint32_t pid, std::string name, SimTime ts,
+                          double value) {
+  record({Phase::kCounter, pid, /*tid=*/0, ts, 0.0, std::move(name), {},
+          {TraceArg("value", value)}});
+}
+
+std::uint32_t EventTracer::alloc_lane_locked(std::uint32_t pid) {
+  std::vector<bool>& occupied = lanes_[pid];
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    if (!occupied[i]) {
+      occupied[i] = true;
+      return static_cast<std::uint32_t>(i) + 1;
+    }
+  }
+  occupied.push_back(true);
+  return static_cast<std::uint32_t>(occupied.size());
+}
+
+void EventTracer::task_begin(std::uint32_t pid, std::uint64_t token,
+                             std::string name, std::string cat, SimTime ts,
+                             TraceArgs args) {
+  Track track{pid, 0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FLEXMR_ASSERT_MSG(open_tasks_.find(token) == open_tasks_.end(),
+                      "task token already open");
+    track.tid = alloc_lane_locked(pid);
+    open_tasks_.emplace(token, TaskLane{track, 0});
+  }
+  begin(track, std::move(name), std::move(cat), ts, std::move(args));
+}
+
+void EventTracer::task_child_begin(std::uint64_t token, std::string name,
+                                   SimTime ts, TraceArgs args) {
+  Track track;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_tasks_.find(token);
+    FLEXMR_ASSERT_MSG(it != open_tasks_.end(), "task token not open");
+    track = it->second.track;
+    ++it->second.open_children;
+  }
+  begin(track, std::move(name), "task.phase", ts, std::move(args));
+}
+
+void EventTracer::task_child_end(std::uint64_t token, SimTime ts,
+                                 TraceArgs args) {
+  Track track;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_tasks_.find(token);
+    FLEXMR_ASSERT_MSG(it != open_tasks_.end(), "task token not open");
+    FLEXMR_ASSERT_MSG(it->second.open_children > 0, "no open phase span");
+    track = it->second.track;
+    --it->second.open_children;
+  }
+  end(track, ts, std::move(args));
+}
+
+void EventTracer::task_instant(std::uint64_t token, std::string name,
+                               SimTime ts, TraceArgs args) {
+  Track track;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_tasks_.find(token);
+    FLEXMR_ASSERT_MSG(it != open_tasks_.end(), "task token not open");
+    track = it->second.track;
+  }
+  instant(track, std::move(name), "task.event", ts, std::move(args));
+}
+
+void EventTracer::task_end(std::uint64_t token, SimTime ts, TraceArgs args) {
+  Track track;
+  int open_children = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_tasks_.find(token);
+    FLEXMR_ASSERT_MSG(it != open_tasks_.end(), "task token not open");
+    track = it->second.track;
+    open_children = it->second.open_children;
+    open_tasks_.erase(it);
+    std::vector<bool>& occupied = lanes_[track.pid];
+    FLEXMR_ASSERT(track.tid >= 1 && track.tid <= occupied.size());
+    occupied[track.tid - 1] = false;
+  }
+  // A task interrupted mid-phase (kill, node loss) leaves its phase span
+  // open; close it at the same timestamp so per-tid nesting stays valid.
+  for (int i = 0; i < open_children; ++i) end(track, ts);
+  end(track, ts, std::move(args));
+}
+
+bool EventTracer::task_open(std::uint64_t token) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_tasks_.find(token) != open_tasks_.end();
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void EventTracer::write_args(JsonWriter& w, const TraceArgs& args) {
+  w.key("args").begin_object();
+  for (const TraceArg& a : args) {
+    w.key(a.key);
+    switch (a.kind) {
+      case TraceArg::Kind::kString:
+        w.value(a.str);
+        break;
+      case TraceArg::Kind::kF64:
+        w.value(a.f64);
+        break;
+      case TraceArg::Kind::kU64:
+        w.value(a.u64);
+        break;
+      case TraceArg::Kind::kI64:
+        w.value(a.i64);
+        break;
+      case TraceArg::Kind::kBool:
+        w.value(a.b);
+        break;
+    }
+  }
+  w.end_object();
+}
+
+void EventTracer::write_event(JsonWriter& w, const Event& ev) {
+  w.begin_object();
+  const char ph[2] = {static_cast<char>(ev.phase), '\0'};
+  w.field("ph", ph);
+  if (!ev.name.empty()) w.field("name", ev.name);
+  if (!ev.cat.empty()) w.field("cat", ev.cat);
+  w.field("pid", ev.pid);
+  w.field("tid", ev.tid);
+  w.field("ts", ev.ts * 1e6);
+  if (ev.phase == Phase::kComplete) w.field("dur", ev.dur * 1e6);
+  if (ev.phase == Phase::kInstant) w.field("s", "t");
+  if (!ev.args.empty()) write_args(w, ev.args);
+  w.end_object();
+}
+
+void EventTracer::write_trace_events(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  w.begin_array();
+
+  // Metadata first: process and thread names, in sorted id order so the
+  // serialized document is deterministic regardless of naming order.
+  std::vector<std::pair<std::uint32_t, std::string>> procs(
+      process_names_.begin(), process_names_.end());
+  std::sort(procs.begin(), procs.end());
+  for (const auto& [pid, name] : procs) {
+    w.begin_object();
+    w.field("ph", "M").field("name", "process_name");
+    w.field("pid", pid).field("tid", 0u).field("ts", 0.0);
+    w.key("args").begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> threads(
+      thread_names_.begin(), thread_names_.end());
+  std::sort(threads.begin(), threads.end());
+  for (const auto& [key, name] : threads) {
+    w.begin_object();
+    w.field("ph", "M").field("name", "thread_name");
+    w.field("pid", static_cast<std::uint32_t>(key >> 32));
+    w.field("tid", static_cast<std::uint32_t>(key & 0xffffffffu));
+    w.field("ts", 0.0);
+    w.key("args").begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Event& ev : events_) write_event(w, ev);
+
+  w.end_array();
+}
+
+ScopedSpan::ScopedSpan(EventTracer* tracer, Track track, std::string name,
+                       std::string cat)
+    : tracer_(tracer), track_(track) {
+  if (tracer_ != nullptr) {
+    tracer_->begin(track_, std::move(name), std::move(cat),
+                   tracer_->clock_now());
+  }
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : tracer_(other.tracer_), track_(other.track_),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    close();
+    tracer_ = other.tracer_;
+    track_ = other.track_;
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+ScopedSpan::~ScopedSpan() { close(); }
+
+void ScopedSpan::close() {
+  if (tracer_ != nullptr) {
+    tracer_->end(track_, tracer_->clock_now(), std::move(args_));
+    tracer_ = nullptr;
+    args_.clear();
+  }
+}
+
+}  // namespace flexmr::obs

@@ -1,0 +1,217 @@
+// In-simulation event tracer producing Chrome trace_event JSON.
+//
+// The tracer records duration spans (B/E), complete spans (X), instant
+// events (i), and counter series (C) against (pid, tid) tracks, then
+// serializes them in a form Perfetto's TraceViewer JSON importer accepts.
+// The pid/tid mapping is simulation-domain, not OS-domain:
+//
+//   pid 0                 job-level control (phases, heartbeat rounds)
+//   pid 1 + node          one process per cluster node
+//   pid 900000            NameNode (re-replication pipeline)
+//   pid 900001            fault injector ground truth
+//   pid 900002            the real multi-threaded rt/ engine
+//
+// Within a node's process, tid 0 is the scheduler-control lane (sizing
+// decisions, speculation verdicts) and tids >= 1 are task lanes: the
+// task_* API packs concurrently running tasks onto the lowest free lane so
+// the rendered track count equals the node's true concurrency, and nested
+// task phases (startup -> shuffle-fetch -> compute) stay strictly nested
+// per tid — a property the CI shape validator checks.
+//
+// Timestamps are simulated seconds converted to microseconds at export
+// (Chrome traces are microsecond-native). The tracer never touches the
+// simulator: it has no event queue, draws no randomness, and is fed a
+// clock callback purely so RAII spans can stamp themselves. Recording is
+// mutex-guarded because the rt/ engine traces from worker threads; the
+// deterministic simulator path is single-threaded and pays one uncontended
+// lock per enabled record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flexmr {
+class JsonWriter;
+}
+
+namespace flexmr::obs {
+
+/// Well-known simulated "process" ids (see file comment).
+inline constexpr std::uint32_t kJobPid = 0;
+inline constexpr std::uint32_t kNodePidBase = 1;
+inline constexpr std::uint32_t kNameNodePid = 900000;
+inline constexpr std::uint32_t kFaultsPid = 900001;
+inline constexpr std::uint32_t kRtEnginePid = 900002;
+
+constexpr std::uint32_t node_pid(NodeId node) { return kNodePidBase + node; }
+
+/// One key/value argument attached to a trace event. Values keep their
+/// native JSON type so Perfetto renders numbers as numbers.
+struct TraceArg {
+  enum class Kind : std::uint8_t { kString, kF64, kU64, kI64, kBool };
+
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), kind(Kind::kString), str(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), str(std::move(v)) {}
+  TraceArg(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kF64), f64(v) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : key(std::move(k)), kind(Kind::kU64), u64(v) {}
+  TraceArg(std::string k, std::uint32_t v)
+      : TraceArg(std::move(k), static_cast<std::uint64_t>(v)) {}
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), kind(Kind::kI64), i64(v) {}
+  TraceArg(std::string k, int v)
+      : TraceArg(std::move(k), static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), kind(Kind::kBool), b(v) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  double f64 = 0.0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  bool b = false;
+};
+
+using TraceArgs = std::vector<TraceArg>;
+
+/// A (pid, tid) coordinate in the trace.
+struct Track {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+class EventTracer {
+ public:
+  /// Clock used by RAII spans and convenience overloads that omit an
+  /// explicit timestamp. Installed by whoever owns the simulation clock.
+  using Clock = std::function<SimTime()>;
+
+  EventTracer() = default;
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  void set_clock(Clock clock);
+  SimTime clock_now() const;
+
+  /// Perfetto metadata: track naming. Idempotent per (pid[, tid]).
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string name);
+
+  // -- Raw span/event API (explicit timestamps, explicit tracks) ----------
+  void begin(Track t, std::string name, std::string cat, SimTime ts,
+             TraceArgs args = {});
+  void end(Track t, SimTime ts, TraceArgs args = {});
+  void complete(Track t, std::string name, std::string cat, SimTime ts,
+                SimDuration dur, TraceArgs args = {});
+  void instant(Track t, std::string name, std::string cat, SimTime ts,
+               TraceArgs args = {});
+  void counter(std::uint32_t pid, std::string name, SimTime ts,
+               double value);
+
+  // -- Task-lane API ------------------------------------------------------
+  // Tasks are long-lived spans keyed by a caller-chosen token (the task
+  // id). task_begin packs the task onto the lowest free tid >= 1 of `pid`;
+  // child begin/end calls nest phase spans inside it on the same lane;
+  // task_end closes any still-open children, emits the task's E event, and
+  // frees the lane for reuse.
+  void task_begin(std::uint32_t pid, std::uint64_t token, std::string name,
+                  std::string cat, SimTime ts, TraceArgs args = {});
+  void task_child_begin(std::uint64_t token, std::string name, SimTime ts,
+                        TraceArgs args = {});
+  void task_child_end(std::uint64_t token, SimTime ts, TraceArgs args = {});
+  void task_instant(std::uint64_t token, std::string name, SimTime ts,
+                    TraceArgs args = {});
+  void task_end(std::uint64_t token, SimTime ts, TraceArgs args = {});
+  bool task_open(std::uint64_t token) const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Writes the traceEvents JSON array (metadata events first, then the
+  /// recorded stream in insertion order). Caller owns the document shell.
+  void write_trace_events(JsonWriter& w) const;
+
+ private:
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kComplete = 'X',
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+
+  struct Event {
+    Phase phase;
+    std::uint32_t pid;
+    std::uint32_t tid;
+    SimTime ts;
+    SimDuration dur;  // X only
+    std::string name;
+    std::string cat;
+    TraceArgs args;
+  };
+
+  struct TaskLane {
+    Track track;
+    int open_children = 0;
+  };
+
+  void record(Event ev);
+  std::uint32_t alloc_lane_locked(std::uint32_t pid);
+  static void write_event(JsonWriter& w, const Event& ev);
+  static void write_args(JsonWriter& w, const TraceArgs& args);
+
+  mutable std::mutex mutex_;
+  Clock clock_;
+  std::vector<Event> events_;
+  std::unordered_map<std::uint32_t, std::string> process_names_;
+  std::unordered_map<std::uint64_t, std::string> thread_names_;
+  // Per-pid lane occupancy for the task_* API; true = in use.
+  std::unordered_map<std::uint32_t, std::vector<bool>> lanes_;
+  std::unordered_map<std::uint64_t, TaskLane> open_tasks_;
+};
+
+/// RAII duration span on a fixed track. Inert when constructed from a null
+/// tracer, so call sites stay branch-free:
+///
+///   obs::ScopedSpan span(ctx.tracer(), track, "sizing", "flexmap");
+///   span.arg("relative_speed", rel);   // folded into the E event
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(EventTracer* tracer, Track track, std::string name,
+             std::string cat);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ~ScopedSpan();
+
+  /// Attaches an argument, carried on the closing E event (Perfetto merges
+  /// B and E args into one slice).
+  template <typename V>
+  void arg(std::string key, V value) {
+    if (tracer_ != nullptr) args_.emplace_back(std::move(key), value);
+  }
+
+  void close();
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  EventTracer* tracer_ = nullptr;
+  Track track_;
+  TraceArgs args_;
+};
+
+}  // namespace flexmr::obs

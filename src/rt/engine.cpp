@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace flexmr::rt {
 
@@ -100,6 +102,19 @@ RtResult MapReduceEngine::run(const Dataset& dataset, const MapFn& map_fn,
 
   const auto job_start = Clock::now();
 
+  obs::EventTracer* const tracer = config_.tracer;
+  if (tracer != nullptr) {
+    tracer->set_process_name(obs::kRtEnginePid, "rt engine");
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      tracer->set_thread_name(obs::kRtEnginePid,
+                              static_cast<std::uint32_t>(w),
+                              "worker " + std::to_string(w));
+    }
+    tracer->set_thread_name(obs::kRtEnginePid,
+                            static_cast<std::uint32_t>(workers_.size()),
+                            "reduce");
+  }
+
   auto worker_loop = [&](std::size_t worker_index) {
     const WorkerSpec& spec = workers_[worker_index];
     for (;;) {
@@ -158,6 +173,20 @@ RtResult MapReduceEngine::run(const Dataset& dataset, const MapFn& map_fn,
       record.startup_seconds = startup;
       record.work_seconds = work;
 
+      if (tracer != nullptr) {
+        // X (complete) events only: B/E nesting is per-tid and workers
+        // run concurrently, so self-contained spans are the safe shape.
+        const double task_ts =
+            std::chrono::duration<double>(task_start - job_start).count();
+        tracer->complete(
+            {obs::kRtEnginePid, static_cast<std::uint32_t>(worker_index)},
+            "map task", "rt", task_ts, seconds_since(task_start),
+            {{"chunks", static_cast<std::uint64_t>(count)},
+             {"startup_s", startup},
+             {"work_s", work},
+             {"productivity", record.productivity()}});
+      }
+
       {
         std::lock_guard lock(result_mutex);
         for (std::uint32_t r = 0; r < reducers; ++r) {
@@ -194,6 +223,7 @@ RtResult MapReduceEngine::run(const Dataset& dataset, const MapFn& map_fn,
   result.map_wall_seconds = seconds_since(job_start);
 
   // Reduce phase: one task per partition, spread over the workers.
+  const auto reduce_start = Clock::now();
   std::vector<std::map<std::string, Value>> reduced(reducers);
   {
     std::atomic<std::uint32_t> next_partition{0};
@@ -225,6 +255,14 @@ RtResult MapReduceEngine::run(const Dataset& dataset, const MapFn& map_fn,
     result.output.merge(piece);
   }
   result.total_wall_seconds = seconds_since(job_start);
+  if (tracer != nullptr) {
+    tracer->complete(
+        {obs::kRtEnginePid, static_cast<std::uint32_t>(workers_.size())},
+        "reduce phase", "rt",
+        std::chrono::duration<double>(reduce_start - job_start).count(),
+        seconds_since(reduce_start),
+        {{"partitions", static_cast<std::uint64_t>(reducers)}});
+  }
   return result;
 }
 

@@ -31,6 +31,10 @@
 #include "rt/dataset.hpp"
 #include "rt/udf.hpp"
 
+namespace flexmr::obs {
+class EventTracer;
+}
+
 namespace flexmr::rt {
 
 struct WorkerSpec {
@@ -60,6 +64,11 @@ struct EngineConfig {
   /// Fixed per-map-task startup cost (the "JVM startup" analogue).
   std::chrono::microseconds task_startup{2000};
   flexmap::SizingOptions sizing;  ///< Used by run_elastic.
+  /// Opt-in tracing: one X span per map task on the rt-engine track
+  /// (pid obs::kRtEnginePid, tid = worker index), timestamps in wall
+  /// seconds since job start. The tracer's own mutex makes concurrent
+  /// worker emissions safe. Null disables.
+  obs::EventTracer* tracer = nullptr;
 };
 
 struct RtTaskRecord {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace flexmr::sched {
 
@@ -125,6 +126,14 @@ std::optional<mr::MapLaunch> SkewTuneScheduler::on_slot_free(
         remaining.begin() + static_cast<std::ptrdiff_t>(end));
   }
 
+  if (obs::EventTracer* tracer = ctx.tracer()) {
+    tracer->instant(
+        {obs::node_pid(node), 0}, "skewtune-repartition", "sched", ctx.now(),
+        {{"straggler", straggler},
+         {"reclaimed_bus", static_cast<std::uint64_t>(remaining.size())},
+         {"helpers", static_cast<std::uint64_t>(helpers)},
+         {"chunk_bus", static_cast<std::uint64_t>(chunk_size)}});
+  }
   return serve_chunk(ctx);
 }
 

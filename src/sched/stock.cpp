@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace flexmr::sched {
 
@@ -136,6 +137,13 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::late_speculate(
   }
   if (!best) return std::nullopt;
 
+  if (obs::EventTracer* tracer = ctx.tracer()) {
+    tracer->instant({obs::node_pid(node), 0}, "late-speculate", "sched", now,
+                    {{"victim", best->id},
+                     {"victim_rate", best->rate},
+                     {"est_time_left_s", best->time_left},
+                     {"slow_rate_threshold", slow_rate}});
+  }
   mr::MapLaunch launch;
   launch.speculative_of = best->id;
   return launch;

@@ -68,6 +68,7 @@ mr::JobResult run_job(cluster::Cluster& cluster, const Benchmark& bench,
                   config.replication, config.params.seed);
   auto spec = to_job_spec(bench, scale);
   mr::JobDriver driver(sim, cluster, layout, spec, config.params, scheduler);
+  if (config.trace != nullptr) driver.set_trace(config.trace);
   if (!config.faults.empty()) driver.install_faults(config.faults);
   for (const auto& [node, time] : config.node_failures) {
     driver.schedule_node_failure(node, time);

@@ -18,6 +18,10 @@
 #include "sched/stock.hpp"
 #include "workloads/puma.hpp"
 
+namespace flexmr::obs {
+class TraceSession;
+}
+
 namespace flexmr::workloads {
 
 /// The four systems the paper compares, plus FlexMap ablation variants.
@@ -46,6 +50,11 @@ struct RunConfig {
   /// Declarative fault plan (crashes with rejoin, transient attempt
   /// failures, launch failures, degradation windows). Empty = no faults.
   faults::FaultPlan faults;
+  /// Opt-in tracing: point at an obs::TraceSession to record spans,
+  /// events and metrics for this run. Null (the default) disables all
+  /// instrumentation; a run with tracing on is event-for-event identical
+  /// to the same run with tracing off.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Runs one job on `cluster` (which is reset first) and returns its

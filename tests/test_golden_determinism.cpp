@@ -25,6 +25,7 @@
 
 #include "cluster/presets.hpp"
 #include "mr/result_json.hpp"
+#include "obs/session.hpp"
 #include "workloads/experiment.hpp"
 
 namespace flexmr {
@@ -81,12 +82,14 @@ faults::FaultPlan golden_fault_plan() {
   return plan;
 }
 
-std::string run_case(const GoldenCase& c, const faults::FaultPlan& plan) {
+std::string run_case(const GoldenCase& c, const faults::FaultPlan& plan,
+                     obs::TraceSession* trace = nullptr) {
   auto cluster = cluster::presets::virtual20();
   workloads::RunConfig config;
   config.block_size = c.block_size;
   config.params.seed = 1234;
   config.faults = plan;
+  config.trace = trace;
   const auto result =
       workloads::run_job(cluster, workloads::benchmark("WC"),
                          workloads::InputScale::kSmall, c.kind, config);
@@ -123,6 +126,39 @@ TEST(GoldenDeterminism, JobResultJsonMatchesPreOptimizationGolden) {
 
 TEST(GoldenDeterminism, FaultTimelineMatchesGolden) {
   check_goldens(kFaultCases, std::size(kFaultCases), golden_fault_plan());
+}
+
+// The tracer observes, never perturbs: attaching a live TraceSession must
+// leave every pinned hash untouched (no RNG draws, no event-queue
+// changes, same sim_events_fired/cancelled/queue_peak). Covers both the
+// clean and the fault-plan cases.
+TEST(GoldenDeterminism, TracingOnLeavesGoldenHashesUnchanged) {
+  for (const auto& c : kCases) {
+    obs::TraceSession trace;
+    EXPECT_EQ(fnv1a(run_case(c, faults::FaultPlan{}, &trace)), c.expected)
+        << c.label << " with tracing enabled";
+    EXPECT_FALSE(trace.tracer().empty()) << c.label;
+    EXPECT_GT(trace.metrics().num_rows(), 0u) << c.label;
+  }
+  const auto plan = golden_fault_plan();
+  for (const auto& c : kFaultCases) {
+    obs::TraceSession trace;
+    EXPECT_EQ(fnv1a(run_case(c, plan, &trace)), c.expected)
+        << c.label << " with tracing enabled";
+    EXPECT_GT(trace.metrics().counter_value("fault_events"), 0u) << c.label;
+  }
+}
+
+// The trace itself is an artifact: two identical traced runs must produce
+// byte-identical flexmr.trace.v1 documents.
+TEST(GoldenDeterminism, TraceDocumentIsByteStable) {
+  const auto plan = golden_fault_plan();
+  obs::TraceSession first;
+  obs::TraceSession second;
+  run_case(kFaultCases[3], plan, &first);
+  run_case(kFaultCases[3], plan, &second);
+  EXPECT_EQ(first.trace_json(), second.trace_json());
+  EXPECT_EQ(first.metrics_csv(), second.metrics_csv());
 }
 
 // Independent of the golden constants: the same seed must give the same

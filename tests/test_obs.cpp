@@ -1,0 +1,190 @@
+// The obs/ tracing subsystem: span bookkeeping, task-lane packing,
+// metrics sampling, histogram percentiles, and the flexmr.trace.v1 shell.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/tracer.hpp"
+
+namespace flexmr::obs {
+namespace {
+
+std::string events_json(const EventTracer& tracer) {
+  JsonWriter w;
+  tracer.write_trace_events(w);
+  return w.str();
+}
+
+TEST(Tracer, BeginEndSpansSerialize) {
+  EventTracer tracer;
+  tracer.begin({1, 0}, "outer", "test", 1.0);
+  tracer.begin({1, 0}, "inner", "test", 2.0);
+  tracer.end({1, 0}, 3.0);
+  tracer.end({1, 0}, 4.0, {{"note", "done"}});
+  const std::string json = events_json(tracer);
+  EXPECT_NE(json.find("\"ph\":\"B\",\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\",\"name\":\"inner\""), std::string::npos);
+  // Timestamps are sim seconds × 1e6 at export (shortest round-trip form).
+  EXPECT_NE(json.find("\"ts\":1e+06"), std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"done\""), std::string::npos);
+}
+
+TEST(Tracer, TaskLanePackingUsesLowestFreeLane) {
+  EventTracer tracer;
+  tracer.task_begin(5, 100, "a", "task", 0.0);
+  tracer.task_begin(5, 101, "b", "task", 0.0);
+  tracer.task_end(100, 1.0);  // lane 1 frees
+  tracer.task_begin(5, 102, "c", "task", 2.0);  // reuses lane 1
+  EXPECT_TRUE(tracer.task_open(101));
+  EXPECT_TRUE(tracer.task_open(102));
+  EXPECT_FALSE(tracer.task_open(100));
+  tracer.task_end(101, 3.0);
+  tracer.task_end(102, 3.0);
+
+  const std::string json = events_json(tracer);
+  // "a" and "c" share tid 1; "b" sat on tid 2 the whole time.
+  EXPECT_NE(json.find("\"name\":\"a\",\"cat\":\"task\",\"pid\":5,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"b\",\"cat\":\"task\",\"pid\":5,\"tid\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c\",\"cat\":\"task\",\"pid\":5,\"tid\":1"),
+            std::string::npos);
+}
+
+TEST(Tracer, TaskEndClosesOpenChildren) {
+  EventTracer tracer;
+  tracer.task_begin(2, 7, "map 7", "map", 0.0);
+  tracer.task_child_begin(7, "startup", 0.0);
+  tracer.task_child_begin(7, "compute", 1.0);
+  // A task killed mid-phase leaves children open; task_end must close
+  // them all (at its own timestamp) before the task's E event.
+  tracer.task_end(7, 5.0);
+
+  const std::string json = events_json(tracer);
+  std::size_t b = 0;
+  std::size_t e = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos; ++pos) {
+    ++b;
+  }
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos; ++pos) {
+    ++e;
+  }
+  EXPECT_EQ(b, 3u);  // task + 2 children
+  EXPECT_EQ(b, e);   // balanced
+  EXPECT_FALSE(tracer.task_open(7));
+}
+
+TEST(Tracer, InstantsCarryScopeAndCountersCarryValue) {
+  EventTracer tracer;
+  tracer.instant({0, 0}, "tick", "test", 1.5, {{"n", std::uint64_t{3}}});
+  tracer.counter(0, "depth", 2.0, 17.0);
+  const std::string json = events_json(tracer);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\",\"name\":\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":17"), std::string::npos);
+}
+
+TEST(Tracer, MetadataNamesComeFirst) {
+  EventTracer tracer;
+  tracer.instant({3, 0}, "x", "test", 0.0);
+  tracer.set_process_name(3, "node 2");
+  tracer.set_thread_name(3, 0, "scheduler");
+  const std::string json = events_json(tracer);
+  const auto meta = json.find("process_name");
+  const auto event = json.find("\"ph\":\"i\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(event, std::string::npos);
+  EXPECT_LT(meta, event);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Tracer, ScopedSpanInertWhenNull) {
+  {
+    ScopedSpan span(nullptr, {0, 0}, "never", "test");
+    span.arg("k", 1.0);
+    EXPECT_FALSE(span.active());
+  }  // no crash, nothing recorded
+  EventTracer tracer;
+  tracer.set_clock([] { return 4.0; });
+  {
+    ScopedSpan span(&tracer, {0, 0}, "sizing", "test");
+    span.arg("target", std::uint64_t{8});
+    EXPECT_TRUE(span.active());
+  }
+  const std::string json = events_json(tracer);
+  EXPECT_NE(json.find("\"name\":\"sizing\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\":8"), std::string::npos);
+  EXPECT_EQ(tracer.size(), 2u);  // B + E
+}
+
+TEST(Metrics, CadenceSamplingEmitsOneRowPerTick) {
+  MetricsRegistry metrics(1.0);
+  auto& ctr = metrics.counter("work");
+  metrics.register_gauge("depth", [] { return 2.5; });
+  metrics.maybe_sample(0.0);   // row at t=0
+  ctr.inc(5);
+  metrics.maybe_sample(0.7);   // no tick crossed
+  metrics.maybe_sample(3.2);   // rows at t=1, 2, 3
+  EXPECT_EQ(metrics.num_rows(), 4u);
+  const std::string csv = metrics.csv();
+  EXPECT_EQ(csv.rfind("ts_s,work,depth\n", 0), 0u);
+  EXPECT_NE(csv.find("\n1,5,2.5\n"), std::string::npos);
+}
+
+TEST(Metrics, SampleNowForcesFinalRow) {
+  MetricsRegistry metrics(10.0);
+  metrics.counter("c").inc();
+  metrics.maybe_sample(0.0);
+  metrics.sample_now(3.5);  // off-cadence final row
+  EXPECT_EQ(metrics.num_rows(), 2u);
+  EXPECT_NE(metrics.csv().find("\n3.5,1\n"), std::string::npos);
+}
+
+TEST(Metrics, LogHistogramPercentiles) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+  // Log-bucketed estimate: within one bucket width (~19% span) of truth.
+  EXPECT_NEAR(h.percentile(0.5), 500.0, 100.0);
+  EXPECT_NEAR(h.percentile(0.9), 900.0, 180.0);
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+}
+
+TEST(Metrics, LogHistogramZeroAndTiny) {
+  LogHistogram h;
+  h.record(0.0);
+  h.record(1e-9);
+  h.record(1e-3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_GE(h.percentile(0.99), h.percentile(0.01));
+}
+
+TEST(Session, TraceJsonShell) {
+  TraceSession session;
+  session.set_metadata("scheduler", "FlexMap");
+  session.tracer().instant({0, 0}, "hello", "test", 0.0);
+  session.metrics().counter("c").inc();
+  session.metrics().sample_now(1.0);
+  const std::string doc = session.trace_json();
+  EXPECT_EQ(doc.rfind("{\"schema\":\"flexmr.trace.v1\"", 0), 0u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"otherData\":{\"scheduler\":\"FlexMap\"}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexmr::obs

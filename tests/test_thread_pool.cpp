@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
 namespace flexmr {
@@ -148,6 +149,29 @@ TEST(ThreadPool, SweepResultsIdenticalAcrossPoolSizes) {
   }
   EXPECT_EQ(results[0], results[1]);
   EXPECT_EQ(results[0], results[2]);
+}
+
+// The bench harnesses mutate the global log level from main while pool
+// workers consult it through FLEXMR_LOG; Logger::level_ is atomic so that
+// pattern is race-free. This test reproduces it under contention — it only
+// proves its worth under TSan (the sanitize-threads CI job), where the
+// pre-atomic Logger was a reported data race.
+TEST(ThreadPool, LoggerLevelSafeAcrossWorkers) {
+  const LogLevel before = Logger::instance().level();
+  ThreadPool pool(4);
+  std::atomic<int> emitted{0};
+  pool.parallel_for_index(256, [&emitted](std::size_t i) {
+    if (i % 3 == 0) {
+      Logger::instance().set_level(i % 2 == 0 ? LogLevel::Off
+                                              : LogLevel::Error);
+    }
+    if (Logger::instance().enabled(LogLevel::Trace)) {
+      FLEXMR_LOG(Trace, "test") << "worker " << i;
+      emitted.fetch_add(1);
+    }
+  });
+  Logger::instance().set_level(before);
+  EXPECT_EQ(emitted.load(), 0);  // Off/Error both gate Trace out
 }
 
 }  // namespace

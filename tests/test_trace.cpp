@@ -1,6 +1,10 @@
 // Trace export and Gantt rendering.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "cluster/presets.hpp"
 #include "mr/trace.hpp"
 #include "workloads/experiment.hpp"
@@ -52,6 +56,135 @@ TEST(Trace, TooNarrowWidthThrows) {
   auto cluster = cluster::presets::homogeneous6();
   const auto result = run_small(cluster);
   EXPECT_THROW(gantt(result, cluster, 5), InvariantError);
+}
+
+// A JobResult with one task per status, for the glyph and escaping tests.
+JobResult synthetic_result() {
+  JobResult result;
+  result.benchmark = "synthetic";
+  result.scheduler = "none";
+  result.submit_time = 0;
+  result.finish_time = 40;
+  const TaskStatus statuses[] = {
+      TaskStatus::kCompleted, TaskStatus::kPartialCompleted,
+      TaskStatus::kKilled, TaskStatus::kLostOutput, TaskStatus::kFailed};
+  TaskId id = 0;
+  for (const TaskStatus status : statuses) {
+    TaskRecord task;
+    task.id = id;
+    task.node = 0;
+    task.kind = TaskKind::kMap;
+    task.status = status;
+    task.dispatch_time = static_cast<SimTime>(id) * 8;
+    task.compute_start = task.dispatch_time + 1;
+    task.end_time = task.dispatch_time + 6;
+    task.input_mib = 64;
+    task.num_bus = 8;
+    result.tasks.push_back(task);
+    ++id;
+  }
+  TaskRecord reduce;
+  reduce.id = 1'000'000;
+  reduce.node = 1;
+  reduce.kind = TaskKind::kReduce;
+  reduce.dispatch_time = 30;
+  reduce.compute_start = 32;
+  reduce.end_time = 39;
+  result.tasks.push_back(reduce);
+  return result;
+}
+
+TEST(Trace, EmptyJobResultCsvIsHeaderOnly) {
+  const std::string csv = trace_csv(JobResult{});
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+  EXPECT_EQ(csv.rfind("id,kind,status,node", 0), 0u);
+}
+
+TEST(Trace, EmptyJobResultGanttRendersIdleLanes) {
+  auto cluster = cluster::presets::homogeneous6();
+  const std::string art = gantt(JobResult{}, cluster, 40);
+  const auto lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), 1 + cluster.total_slots());
+  // Lane rows (everything after the legend line) are pure idle.
+  const std::string rows = art.substr(art.find('\n') + 1);
+  EXPECT_EQ(rows.find('='), std::string::npos);
+  EXPECT_EQ(rows.find('#'), std::string::npos);
+}
+
+TEST(Trace, GanttWidthBelowNodeCountStillRenders) {
+  // 6 nodes but only 10 columns: every task collapses into a narrow band,
+  // which must clamp instead of indexing past the row.
+  auto cluster = cluster::presets::homogeneous6();
+  const auto result = run_small(cluster);
+  const std::string art = gantt(result, cluster, 10);
+  std::size_t pos = art.find('|');
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(art.find('|', pos + 1) - pos - 1, 10u);
+}
+
+TEST(Trace, GanttGlyphsPerStatus) {
+  auto cluster = cluster::presets::homogeneous6();
+  const std::string art = gantt(synthetic_result(), cluster, 80);
+  // Killed and lost-output render as 'x'; partial keeps the map glyph
+  // (its consumed prefix is real work); the reduce renders '#'.
+  EXPECT_NE(art.find('x'), std::string::npos);
+  EXPECT_NE(art.find('='), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Trace, CsvFieldsNeedNoEscaping) {
+  // The CSV has no quoting layer, so every field must stay free of the
+  // characters that would require one. Walk all statuses and kinds.
+  const std::string csv = trace_csv(synthetic_result());
+  std::istringstream lines(csv);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find('"'), std::string::npos) << line;
+    EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 10) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 7u);  // header + 6 tasks
+  for (const char* status :
+       {"completed", "partial", "killed", "lost-output", "failed"}) {
+    EXPECT_NE(csv.find(status), std::string::npos) << status;
+  }
+}
+
+TEST(Trace, ReplayTraceJsonShape) {
+  const std::string doc = job_result_trace_json(synthetic_result());
+  EXPECT_NE(doc.find("\"schema\":\"flexmr.trace.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"map 0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"reduce 1000000\""), std::string::npos);
+  EXPECT_NE(doc.find("lost-output"), std::string::npos);
+}
+
+TEST(Trace, ReplayTraceOfEmptyResultIsValid) {
+  const std::string doc = job_result_trace_json(JobResult{});
+  EXPECT_NE(doc.find("\"schema\":\"flexmr.trace.v1\""), std::string::npos);
+  // Job span present even with no tasks; no node processes.
+  EXPECT_NE(doc.find("\"job\""), std::string::npos);
+}
+
+TEST(Trace, ReplayPacksOverlappingTasksOntoDistinctLanes) {
+  JobResult result;
+  result.finish_time = 10;
+  for (TaskId id = 0; id < 3; ++id) {
+    TaskRecord task;
+    task.id = id;
+    task.node = 2;
+    task.dispatch_time = 0;
+    task.compute_start = 1;
+    task.end_time = 10;
+    result.tasks.push_back(task);
+  }
+  const std::string doc = job_result_trace_json(result);
+  // Three fully-overlapping tasks on one node need lanes 1..3.
+  EXPECT_NE(doc.find("\"lane 1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"lane 3\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Shape validator for flexmr.trace.v1 documents.
+
+Checks what Perfetto's legacy trace_event JSON importer needs, plus the
+invariants the tracer promises by construction:
+
+  * valid JSON with a traceEvents array; schema == flexmr.trace.v1
+  * every event has ph/pid/tid, non-metadata events have ts >= 0
+  * B/E spans are balanced and strictly nested per (pid, tid), with
+    monotonically non-decreasing timestamps along each track
+  * X events have dur >= 0; i events carry a scope
+  * the metrics block (when present) has columns/rows of matching width
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    sys.exit(1)
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "flexmr.trace.v1":
+        fail(path, f"schema is {doc.get('schema')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+
+    # Per-(pid, tid) open-span stacks and timestamp cursors.
+    stacks = {}
+    last_ts = {}
+    counts = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None or "pid" not in ev or "tid" not in ev:
+            fail(path, f"event {i} missing ph/pid/tid: {ev}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, f"event {i} bad ts: {ev}")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0) - 1e-6:
+            fail(path, f"event {i} ts moves backwards on track {track}")
+        last_ts[track] = ts
+        if ph == "B":
+            if "name" not in ev:
+                fail(path, f"B event {i} has no name")
+            stacks.setdefault(track, []).append((ev["name"], ts))
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                fail(path, f"E event {i} with no open span on {track}")
+            name, begin_ts = stack.pop()
+            if ts < begin_ts - 1e-6:
+                fail(path, f"span {name!r} on {track} ends before it begins")
+        elif ph == "X":
+            if ev.get("dur", -1) < 0:
+                fail(path, f"X event {i} bad dur: {ev}")
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                fail(path, f"i event {i} bad scope: {ev}")
+        elif ph == "C":
+            if "name" not in ev or "args" not in ev:
+                fail(path, f"C event {i} missing name/args")
+        else:
+            fail(path, f"event {i} unknown phase {ph!r}")
+
+    dangling = {t: s for t, s in stacks.items() if s}
+    if dangling:
+        fail(path, f"unclosed spans: {dangling}")
+
+    metrics = doc.get("metrics")
+    if metrics and metrics.get("rows"):
+        width = len(metrics["columns"])  # columns[0] is ts_s
+        for r, row in enumerate(metrics["rows"]):
+            if len(row) != width:
+                fail(path, f"metrics row {r} width {len(row)} != {width}")
+
+    spans = counts.get("B", 0) + counts.get("X", 0)
+    print(f"{path}: OK ({len(events)} events: {spans} spans, "
+          f"{counts.get('i', 0)} instants, {counts.get('C', 0)} counter "
+          f"samples, {len(metrics.get('rows', [])) if metrics else 0} "
+          f"metrics rows)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    for p in sys.argv[1:]:
+        validate(p)
