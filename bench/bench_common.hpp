@@ -12,7 +12,6 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,7 +81,6 @@ inline std::vector<SweepResult> sweep(
   for (std::size_t i = 0; i < points.size(); ++i) {
     results[i].label = points[i].label;
   }
-  std::mutex mutex;
 
   struct WorkItem {
     std::size_t point;
@@ -92,6 +90,18 @@ inline std::vector<SweepResult> sweep(
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (const auto seed : seeds) items.push_back({i, seed});
   }
+
+  // Per-item buffers, folded below in fixed item order. Folding OnlineStats
+  // directly from the workers would accumulate in thread-completion order,
+  // and Welford's update is not commutative in floating point — the same
+  // sweep would produce different BENCH_*.json means/stddevs run to run.
+  struct ItemResult {
+    double jct = 0;
+    double efficiency = 0;
+    double productivity = 0;
+    double run_wall_clock = 0;
+  };
+  std::vector<ItemResult> measured(items.size());
 
   static ThreadPool pool;  // shared across sweeps within one bench binary
   pool.parallel_for_each(items.begin(), items.end(), [&](const WorkItem& w) {
@@ -106,12 +116,17 @@ inline std::vector<SweepResult> sweep(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_start)
             .count();
-    std::lock_guard lock(mutex);
-    results[w.point].jct.add(result.jct());
-    results[w.point].efficiency.add(result.efficiency());
-    results[w.point].productivity.add(result.mean_map_productivity());
-    results[w.point].run_wall_clock.add(run_seconds);
+    const std::size_t index = static_cast<std::size_t>(&w - items.data());
+    measured[index] = ItemResult{result.jct(), result.efficiency(),
+                                 result.mean_map_productivity(), run_seconds};
   });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SweepResult& out = results[items[i].point];
+    out.jct.add(measured[i].jct);
+    out.efficiency.add(measured[i].efficiency);
+    out.productivity.add(measured[i].productivity);
+    out.run_wall_clock.add(measured[i].run_wall_clock);
+  }
   return results;
 }
 

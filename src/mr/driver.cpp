@@ -280,8 +280,8 @@ void JobDriver::map_compute_start(TaskId id) {
   task.compute_start = sim_->now();
   task.integrator.emplace(task.size, map_rate(task), sim_->now());
   if (tracer_ != nullptr) {
-    tracer_->task_child_end(id, task.compute_start);
-    tracer_->task_child_begin(id, "compute", task.compute_start,
+    tracer_->task_child_end(ttok(id), task.compute_start);
+    tracer_->task_child_begin(ttok(id), "compute", task.compute_start,
                               {{"rate_mibps", map_rate(task)}});
   }
   if (task.planned_fault == PlannedFault::kAttemptFail) {
@@ -351,7 +351,7 @@ void JobDriver::map_complete(TaskId id) {
              static_cast<std::uint32_t>(task.bus.size()));
   const TaskRecord completed_rec = result_.tasks.back();
   if (tracer_ != nullptr) {
-    tracer_->task_end(id, sim_->now(),
+    tracer_->task_end(ttok(id), sim_->now(),
                       {{"status", "completed"},
                        {"productivity", completed_rec.productivity()}});
     ctr_maps_completed_->inc();
@@ -412,6 +412,38 @@ void JobDriver::kill_map(TaskId id, TaskStatus final_status) {
 }
 
 std::vector<BlockUnitId> JobDriver::kill_and_reclaim(TaskId id) {
+  return reclaim_map(id, "skewtune reclaim");
+}
+
+bool JobDriver::preempt_one_map() {
+  if (done_ || running_map_count_ == 0) return false;
+  // Victim: the youngest running map — least sunk work, and under
+  // FlexMap's ramp the smallest task. Speculated pairs are skipped (their
+  // BU-ownership transfer protocol assumes death, not reclaim) and so are
+  // containers frozen on a silently-dead node (their slot is already
+  // unusable; killing them would double-free it at detection).
+  TaskId victim = kInvalidTask;
+  for (const TaskId id : live_map_ids_) {
+    const MapTask& task = *map_tasks_[id];
+    if (task.phase == TaskPhase::kDone) continue;
+    if (task.speculative || task.twin != kInvalidTask) continue;
+    if (silent_nodes_.count(task.node) > 0) continue;
+    if (victim == kInvalidTask ||
+        task.dispatch_time >= map_tasks_[victim]->dispatch_time) {
+      victim = id;
+    }
+  }
+  if (victim == kInvalidTask) return false;
+  const NodeId node = map_tasks_[victim]->node;
+  const std::vector<BlockUnitId> remaining = reclaim_map(victim, "preempted");
+  // The scheduler did not initiate this kill; tell it the node is fine but
+  // the attempt is gone so bookkeeping policies refold the returned BUs.
+  scheduler_->on_attempt_failed(*this, node, remaining);
+  return true;
+}
+
+std::vector<BlockUnitId> JobDriver::reclaim_map(TaskId id,
+                                                const char* reason) {
   FLEXMR_ASSERT(id < map_tasks_.size());
   MapTask& task = *map_tasks_[id];
   FLEXMR_ASSERT_MSG(task.phase != TaskPhase::kDone,
@@ -454,8 +486,7 @@ std::vector<BlockUnitId> JobDriver::kill_and_reclaim(TaskId id) {
                             : TaskStatus::kKilled,
              acc, static_cast<std::uint32_t>(kept));
   const TaskRecord partial_rec = result_.tasks.back();
-  trace_task_closed(id, kept > 0 ? "partial" : "killed", "skewtune reclaim",
-                    acc);
+  trace_task_closed(id, kept > 0 ? "partial" : "killed", reason, acc);
   if (kept > 0) scheduler_->on_map_complete(*this, partial_rec);
 
   index_.put_back(remaining);
@@ -610,14 +641,14 @@ bool JobDriver::dispatch_reduce(NodeId node) {
         startup, [this, idx]() { reduce_fetch_start(idx); });
   }
   if (tracer_ != nullptr) {
-    tracer_->task_begin(obs::node_pid(node), task.id,
+    tracer_->task_begin(obs::node_pid(node), ttok(task.id),
                         "reduce " + std::to_string(idx), "reduce",
                         task.dispatch_time,
                         {{"input_mib", task.input},
                          {"remote_mib", task.remote},
                          {"share", task.share},
                          {"requeued", from_requeue}});
-    tracer_->task_child_begin(task.id, "startup", task.dispatch_time);
+    tracer_->task_child_begin(ttok(task.id), "startup", task.dispatch_time);
     ctr_reduces_dispatched_->inc();
   }
   return true;
@@ -650,9 +681,9 @@ void JobDriver::reduce_fetch_start(std::size_t idx) {
   const SimDuration fetch =
       task.remote / nic * (1.0 - params_.shuffle_overlap);
   if (tracer_ != nullptr) {
-    tracer_->task_child_end(task.id, sim_->now());
+    tracer_->task_child_end(ttok(task.id), sim_->now());
     tracer_->task_child_begin(
-        task.id, "shuffle-fetch", sim_->now(),
+        ttok(task.id), "shuffle-fetch", sim_->now(),
         {{"remote_mib", task.remote},
          {"failed_sources",
           static_cast<std::uint64_t>(task.failed_fetch_sources.size())}});
@@ -681,7 +712,7 @@ void JobDriver::handle_fetch_failure(std::size_t idx) {
   if (tracer_ != nullptr) {
     // Emit before the report below: it may stall this reducer and close
     // its span, and the failure instant belongs inside it.
-    tracer_->task_instant(task.id, "fetch-failure", sim_->now(),
+    tracer_->task_instant(ttok(task.id), "fetch-failure", sim_->now(),
                           {{"source", source},
                            {"attempt", task.fetch_attempt},
                            {"backoff_s", backoff}});
@@ -790,8 +821,8 @@ void JobDriver::reduce_compute_start(std::size_t idx) {
   ReduceTask& task = *reduce_tasks_[idx];
   task.phase = TaskPhase::kComputing;
   if (tracer_ != nullptr) {
-    tracer_->task_child_end(task.id, sim_->now());
-    tracer_->task_child_begin(task.id, "compute", sim_->now());
+    tracer_->task_child_end(ttok(task.id), sim_->now());
+    tracer_->task_child_begin(ttok(task.id), "compute", sim_->now());
   }
   if (task.input <= 0.0) {
     task.pending_event = kInvalidEvent;
@@ -831,7 +862,7 @@ void JobDriver::reduce_complete(std::size_t idx) {
   result_.tasks.push_back(rec);
 
   if (tracer_ != nullptr) {
-    tracer_->task_end(rec.id, sim_->now(), {{"status", "completed"}});
+    tracer_->task_end(ttok(rec.id), sim_->now(), {{"status", "completed"}});
     ctr_reduces_completed_->inc();
     auto& metrics = trace_->metrics();
     metrics.histogram("reduce.total_runtime_s").record(rec.total_runtime());
@@ -943,11 +974,11 @@ void JobDriver::heartbeat() {
 
   if (tracer_ != nullptr) {
     ctr_heartbeats_->inc();
-    tracer_->counter(obs::kJobPid, "running_maps", sim_->now(),
+    tracer_->counter(trace_ns_.job_pid, "running_maps", sim_->now(),
                      static_cast<double>(running_map_count_));
-    tracer_->counter(obs::kJobPid, "running_reduces", sim_->now(),
+    tracer_->counter(trace_ns_.job_pid, "running_reduces", sim_->now(),
                      static_cast<double>(running_reduce_count_));
-    tracer_->counter(obs::kJobPid, "free_containers", sim_->now(),
+    tracer_->counter(trace_ns_.job_pid, "free_containers", sim_->now(),
                      static_cast<double>(rm_.total_free()));
   }
 
@@ -997,7 +1028,29 @@ void JobDriver::record_fault(faults::FaultEventType type, NodeId node,
   }
 }
 
-void JobDriver::fail_node(NodeId node) {
+void JobDriver::ensure_replica_manager() {
+  if (replica_mgr_) return;
+  // Created on demand by coordinator-delivered failures: reflects the full
+  // static layout, then the on_node_lost calls that follow peel off dead
+  // holders. No re-replication — that pipeline belongs to a per-driver
+  // fault plan, which a shared-RM coordinator does not install.
+  replica_mgr_ = std::make_unique<hdfs::ReplicaManager>(
+      *layout_, cluster_->num_nodes());
+}
+
+void JobDriver::notify_node_failure(NodeId node) {
+  FLEXMR_ASSERT_MSG(started_, "notify_node_failure before start()");
+  // A coordinator marked the node dead on the shared RM exactly once and
+  // schedules the single cluster-wide re-offer itself; this job records
+  // the crash + its own detection and cleans up its containers. Idempotent
+  // per node; also delivered at start() to jobs admitted after the death.
+  if (done_ || failed_nodes_.count(node) > 0) return;
+  ensure_replica_manager();
+  record_fault(faults::FaultEventType::kCrash, node);
+  fail_node(node, /*schedule_reoffer=*/false);
+}
+
+void JobDriver::fail_node(NodeId node, bool schedule_reoffer) {
   // Guard on *this driver's* bookkeeping, not the RM: with a shared RM
   // another job's driver may already have marked the node dead, but this
   // job's tasks there still need cleaning up.
@@ -1104,8 +1157,8 @@ void JobDriver::fail_node(NodeId node) {
         sim_->cancel(task.pending_event);
         task.pending_event = kInvalidEvent;
       }
-      if (tracer_ != nullptr && tracer_->task_open(task.id)) {
-        tracer_->task_end(task.id, sim_->now(),
+      if (tracer_ != nullptr && tracer_->task_open(ttok(task.id))) {
+        tracer_->task_end(ttok(task.id), sim_->now(),
                           {{"status", "requeued"}, {"reason", "node lost"}});
       }
       task.node = kInvalidNode;
@@ -1160,9 +1213,11 @@ void JobDriver::fail_node(NodeId node) {
     abort_job("every node in the cluster failed");
     return;
   }
-  sim_->schedule_after(0.0, [this]() {
-    if (!done_) rm_.offer_all();
-  });
+  if (schedule_reoffer) {
+    sim_->schedule_after(0.0, [this]() {
+      if (!done_) rm_.offer_all();
+    });
+  }
 }
 
 void JobDriver::lose_map_output(MapTask& task,
@@ -1214,9 +1269,9 @@ void JobDriver::reopen_map_phase_for_lost_outputs() {
       sim_->cancel(task.pending_event);
       task.pending_event = kInvalidEvent;
     }
-    if (tracer_ != nullptr && tracer_->task_open(task.id)) {
+    if (tracer_ != nullptr && tracer_->task_open(ttok(task.id))) {
       tracer_->task_end(
-          task.id, sim_->now(),
+          ttok(task.id), sim_->now(),
           {{"status", "requeued"}, {"reason", "map output lost"}});
     }
     const NodeId host = task.node;
@@ -1299,8 +1354,8 @@ void JobDriver::on_node_silent(NodeId node) {
       task.pending_event = kInvalidEvent;
     }
     if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
-    if (tracer_ != nullptr && tracer_->task_open(id)) {
-      tracer_->task_instant(id, "frozen (node silent)", sim_->now());
+    if (tracer_ != nullptr && tracer_->task_open(ttok(id))) {
+      tracer_->task_instant(ttok(id), "frozen (node silent)", sim_->now());
     }
   }
   for (auto& owned : reduce_tasks_) {
@@ -1311,8 +1366,9 @@ void JobDriver::on_node_silent(NodeId node) {
       task.pending_event = kInvalidEvent;
     }
     if (task.integrator) task.integrator->set_rate(sim_->now(), 0.0);
-    if (tracer_ != nullptr && tracer_->task_open(task.id)) {
-      tracer_->task_instant(task.id, "frozen (node silent)", sim_->now());
+    if (tracer_ != nullptr && tracer_->task_open(ttok(task.id))) {
+      tracer_->task_instant(ttok(task.id), "frozen (node silent)",
+                            sim_->now());
     }
   }
 }
@@ -1426,9 +1482,9 @@ void JobDriver::reduce_attempt_fail(std::size_t idx) {
   rec.input_mib = consumed;
   rec.phase_progress_at_end = 1.0;
   result_.tasks.push_back(rec);
-  if (tracer_ != nullptr && tracer_->task_open(rec.id)) {
+  if (tracer_ != nullptr && tracer_->task_open(ttok(rec.id))) {
     tracer_->task_end(
-        rec.id, sim_->now(),
+        ttok(rec.id), sim_->now(),
         {{"status", "failed"},
          {"reason", launch_failure ? "launch failure" : "attempt failure"},
          {"consumed_mib", consumed}});
@@ -1558,8 +1614,13 @@ double JobDriver::map_phase_progress() const {
 // ---------------------------------------------------------------------------
 
 void JobDriver::set_trace(obs::TraceSession* trace) {
+  set_trace(trace, TraceNamespace{});
+}
+
+void JobDriver::set_trace(obs::TraceSession* trace, TraceNamespace ns) {
   FLEXMR_ASSERT_MSG(!started_, "install tracing before run()");
   trace_ = trace;
+  trace_ns_ = std::move(ns);
 }
 
 void JobDriver::trace_setup() {
@@ -1567,8 +1628,11 @@ void JobDriver::trace_setup() {
   tracer_ = &trace_->tracer();
   tracer_->set_clock([this]() { return sim_->now(); });
   tracer_->set_process_name(
-      obs::kJobPid, "job " + job_.name + " [" + scheduler_->name() + "]");
-  tracer_->set_thread_name(obs::kJobPid, 0, "phases");
+      trace_ns_.job_pid,
+      trace_ns_.label.empty()
+          ? "job " + job_.name + " [" + scheduler_->name() + "]"
+          : trace_ns_.label);
+  tracer_->set_thread_name(trace_ns_.job_pid, 0, "phases");
   for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
     tracer_->set_process_name(
         obs::node_pid(node), "node " + std::to_string(node) + " (" +
@@ -1587,7 +1651,9 @@ void JobDriver::trace_setup() {
   }
 
   // All instruments are registered up front: the registry's column layout
-  // freezes at the first sampled row.
+  // freezes at the first sampled row. Counters and histograms dedupe by
+  // name, so drivers sharing one session aggregate into service-wide
+  // instruments.
   auto& metrics = trace_->metrics();
   ctr_maps_dispatched_ = &metrics.counter("maps_dispatched");
   ctr_maps_completed_ = &metrics.counter("maps_completed");
@@ -1604,6 +1670,10 @@ void JobDriver::trace_setup() {
   metrics.histogram("reduce.total_runtime_s");
   metrics.histogram("reduce.input_mib");
 
+  if (!trace_ns_.register_gauges) {
+    trace_begin_phase("map phase");
+    return;
+  }
   metrics.register_gauge("cluster_utilization", [this]() {
     const double total = static_cast<double>(rm_.total_slots());
     return total > 0 ? (total - static_cast<double>(rm_.total_free())) / total
@@ -1651,13 +1721,13 @@ void JobDriver::trace_setup() {
 
 void JobDriver::trace_begin_phase(const char* name) {
   if (tracer_ == nullptr) return;
-  tracer_->begin({obs::kJobPid, 0}, name, "phase", sim_->now());
+  tracer_->begin({trace_ns_.job_pid, 0}, name, "phase", sim_->now());
   trace_phase_open_ = true;
 }
 
 void JobDriver::trace_end_phase() {
   if (tracer_ == nullptr || !trace_phase_open_) return;
-  tracer_->end({obs::kJobPid, 0}, sim_->now());
+  tracer_->end({trace_ns_.job_pid, 0}, sim_->now());
   trace_phase_open_ = false;
 }
 
@@ -1667,21 +1737,21 @@ void JobDriver::trace_map_begin(const MapTask& task) {
     name += " (spec of " + std::to_string(task.twin) + ")";
   }
   tracer_->task_begin(
-      obs::node_pid(task.node), task.id, std::move(name), "map",
+      obs::node_pid(task.node), ttok(task.id), std::move(name), "map",
       task.dispatch_time,
       {{"num_bus", static_cast<std::uint64_t>(task.bus.size())},
        {"size_mib", task.size},
        {"avg_cost", task.avg_cost},
        {"local_fraction", task.local_fraction},
        {"speculative", task.speculative}});
-  tracer_->task_child_begin(task.id, "startup", task.dispatch_time);
+  tracer_->task_child_begin(ttok(task.id), "startup", task.dispatch_time);
   ctr_maps_dispatched_->inc();
 }
 
 void JobDriver::trace_task_closed(TaskId id, const char* status,
                                   const char* reason, MiB consumed) {
-  if (tracer_ == nullptr || !tracer_->task_open(id)) return;
-  tracer_->task_end(id, sim_->now(),
+  if (tracer_ == nullptr || !tracer_->task_open(ttok(id))) return;
+  tracer_->task_end(ttok(id), sim_->now(),
                     {{"status", status},
                      {"reason", reason},
                      {"consumed_mib", consumed}});
@@ -1692,13 +1762,15 @@ void JobDriver::trace_finish() {
   // Close anything still open in deterministic id order (the internal
   // open-task map is unordered); aborted jobs leave spans dangling.
   for (const auto& owned : map_tasks_) {
-    if (tracer_->task_open(owned->id)) {
-      tracer_->task_end(owned->id, sim_->now(), {{"status", "unfinished"}});
+    if (tracer_->task_open(ttok(owned->id))) {
+      tracer_->task_end(ttok(owned->id), sim_->now(),
+                        {{"status", "unfinished"}});
     }
   }
   for (const auto& owned : reduce_tasks_) {
-    if (tracer_->task_open(owned->id)) {
-      tracer_->task_end(owned->id, sim_->now(), {{"status", "unfinished"}});
+    if (tracer_->task_open(ttok(owned->id))) {
+      tracer_->task_end(ttok(owned->id), sim_->now(),
+                        {{"status", "unfinished"}});
     }
   }
   trace_end_phase();

@@ -41,6 +41,25 @@
 
 namespace flexmr::mr {
 
+/// Per-job namespace inside a *shared* TraceSession: several drivers can
+/// record into one Perfetto document when each gets a distinct control pid
+/// and a distinct task-token range, while the node / NameNode / fault
+/// tracks stay shared (process naming is idempotent per pid). The
+/// defaults reproduce the single-job layout byte for byte.
+struct TraceNamespace {
+  /// Pid of this job's control track (phases, job-level counters).
+  std::uint32_t job_pid = obs::kJobPid;
+  /// Added to every task token so concurrent jobs' task ids (both starting
+  /// from 0) cannot collide inside the tracer's open-task map.
+  std::uint64_t token_base = 0;
+  /// Process name for the control track; empty = "job <name> [<sched>]".
+  std::string label;
+  /// Gauges read live driver state and are not deduped by name; a shared
+  /// session registers service-level gauges once at the coordinator
+  /// instead of one copy per job.
+  bool register_gauges = true;
+};
+
 class JobDriver final : public DriverContext {
  public:
   /// Single-job form: the driver owns a ResourceManager over the whole
@@ -97,6 +116,23 @@ class JobDriver final : public DriverContext {
   /// are regenerated.
   void schedule_node_failure(NodeId node, SimTime time);
 
+  /// Cluster-level failure notification from a shared-RM coordinator: the
+  /// coordinator has already marked the node dead on the RM (exactly once,
+  /// cluster-wide) and schedules the single post-failure re-offer itself.
+  /// This driver records the crash/detection events, kills its containers
+  /// on the node, reclaims their work, and never touches the node again.
+  /// Idempotent per node; also used to inform a job that starts *after*
+  /// the node died. Requires start().
+  void notify_node_failure(NodeId node);
+
+  /// Container preemption (an over-share job releasing a slot to the
+  /// cluster scheduler): kills this job's youngest running non-speculative
+  /// map attempt, crediting its consumed BU prefix as PartialCompleted
+  /// (FlexMap's elastic tasks make the checkpoint free) and returning the
+  /// rest to the pool. Reducers are never preempted — their fetched data
+  /// would be lost. Returns false when no preemptible map is running.
+  bool preempt_one_map();
+
   /// Installs the run's declarative fault plan (crashes with optional
   /// rejoin, silent death with heartbeat-expiry detection, degradation
   /// windows, per-attempt transient/launch failures, retry/blacklist
@@ -111,6 +147,10 @@ class JobDriver final : public DriverContext {
   /// gauges read driver state at sample time). Null (the default) keeps
   /// every instrumentation site on a pointer-test fast path.
   void set_trace(obs::TraceSession* trace);
+
+  /// Shared-session form: same as set_trace(trace) but records under the
+  /// given per-job namespace so several jobs merge into one document.
+  void set_trace(obs::TraceSession* trace, TraceNamespace ns);
 
   // --- DriverContext ---
   SimTime now() const override { return sim_->now(); }
@@ -248,8 +288,14 @@ class JobDriver final : public DriverContext {
 
   // Fault machinery. fail_node is the *detection* path (oracle crash,
   // heartbeat expiry, or re-registration resync); on_node_silent is the
-  // ground-truth crash of a node the AM has not noticed yet.
-  void fail_node(NodeId node);
+  // ground-truth crash of a node the AM has not noticed yet. A coordinator
+  // delivering a cluster-level crash suppresses the per-driver re-offer
+  // (it schedules one itself, instead of one per job).
+  void fail_node(NodeId node, bool schedule_reoffer = true);
+  /// Creates the live NameNode view on demand: coordinator-delivered
+  /// failures arrive without a per-driver fault plan, but node loss still
+  /// needs replica liveness for locality and data-loss checks.
+  void ensure_replica_manager();
   void on_node_silent(NodeId node);
   void on_node_rejoin(NodeId node);
   void map_attempt_fail(TaskId id);
@@ -281,6 +327,10 @@ class JobDriver final : public DriverContext {
   void reschedule_map_completion(MapTask& task);
   void finish_job();
 
+  /// Shared core of kill_and_reclaim / preempt_one_map: stop `id`, credit
+  /// its consumed prefix, put the rest back. `reason` labels the trace.
+  std::vector<BlockUnitId> reclaim_map(TaskId id, const char* reason);
+
   // Tracing helpers (all no-ops when trace_ is null).
   void trace_setup();
   void trace_begin_phase(const char* name);
@@ -289,6 +339,8 @@ class JobDriver final : public DriverContext {
   void trace_task_closed(TaskId id, const char* status, const char* reason,
                          MiB consumed);
   void trace_finish();
+  /// Task id → tracer token under this job's namespace.
+  std::uint64_t ttok(TaskId id) const { return trace_ns_.token_base + id; }
 
   Simulator* sim_;
   cluster::Cluster* cluster_;
@@ -376,6 +428,7 @@ class JobDriver final : public DriverContext {
   /// session's lifetime.
   obs::TraceSession* trace_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
+  TraceNamespace trace_ns_;
   bool trace_phase_open_ = false;
   obs::MetricsRegistry::Counter* ctr_maps_dispatched_ = nullptr;
   obs::MetricsRegistry::Counter* ctr_maps_completed_ = nullptr;

@@ -48,8 +48,19 @@ inline constexpr std::uint32_t kNodePidBase = 1;
 inline constexpr std::uint32_t kNameNodePid = 900000;
 inline constexpr std::uint32_t kFaultsPid = 900001;
 inline constexpr std::uint32_t kRtEnginePid = 900002;
+/// Per-job control pids in a merged multi-job document: job j records its
+/// phases/counters under kServiceJobPidBase + j while the node, NameNode
+/// and fault tracks stay shared. (Job 0 of a single-job session keeps
+/// kJobPid so existing traces are unchanged.)
+inline constexpr std::uint32_t kServiceJobPidBase = 1'000'000;
+/// Task-token stride between jobs sharing one tracer: must clear the
+/// per-job reduce-id base (1'000'000 + reducer index) with lots of room.
+inline constexpr std::uint64_t kServiceTokenStride = 100'000'000;
 
 constexpr std::uint32_t node_pid(NodeId node) { return kNodePidBase + node; }
+constexpr std::uint32_t service_job_pid(std::size_t job) {
+  return kServiceJobPidBase + static_cast<std::uint32_t>(job);
+}
 
 /// One key/value argument attached to a trace event. Values keep their
 /// native JSON type so Perfetto renders numbers as numbers.

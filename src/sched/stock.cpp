@@ -28,12 +28,23 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
     mr::DriverContext& ctx, NodeId node) {
   const auto& layout = ctx.layout();
 
-  auto make_launch = [&](std::uint32_t block_id) {
+  // A pending block is normally fully unprocessed, but a preempted (or
+  // SkewTune-killed) map may have consumed a prefix before its block was
+  // re-pended — the relaunched map covers only the free remainder.
+  auto free_units = [&](std::uint32_t block_id) {
+    std::vector<BlockUnitId> bus;
+    for (const BlockUnitId bu : layout.blocks[block_id].bus) {
+      if (!ctx.index().taken(bu)) bus.push_back(bu);
+    }
+    return bus;
+  };
+  auto make_launch = [&](std::uint32_t block_id,
+                         std::vector<BlockUnitId> bus) {
     block_launched_[block_id] = 1;
     --pending_count_;
-    ctx.index().take_block(layout.blocks[block_id]);
+    ctx.index().take_units(bus);
     mr::MapLaunch launch;
-    launch.bus = layout.blocks[block_id].bus;
+    launch.bus = std::move(bus);
     return launch;
   };
 
@@ -43,8 +54,13 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
   while (cursor < locals.size()) {
     const std::uint32_t block_id = locals[cursor];
     if (!block_launched_[block_id]) {
-      remote_wait_since_[node] = -1.0;
-      return make_launch(block_id);
+      if (auto bus = free_units(block_id); !bus.empty()) {
+        remote_wait_since_[node] = -1.0;
+        return make_launch(block_id, std::move(bus));
+      }
+      // Raced empty (every BU taken since the re-pend): treat as launched.
+      block_launched_[block_id] = 1;
+      --pending_count_;
     }
     ++cursor;
   }
@@ -66,8 +82,12 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
     // on_node_recovered rewinds this cursor.
     if (!block_launched_[global_cursor_] &&
         ctx.block_readable(global_cursor_)) {
-      remote_wait_since_[node] = -1.0;
-      return make_launch(global_cursor_);
+      if (auto bus = free_units(global_cursor_); !bus.empty()) {
+        remote_wait_since_[node] = -1.0;
+        return make_launch(global_cursor_, std::move(bus));
+      }
+      block_launched_[global_cursor_] = 1;
+      --pending_count_;
     }
     ++global_cursor_;
   }
@@ -198,14 +218,17 @@ void StockHadoopScheduler::repend_reclaimed(
   }
   for (const std::uint32_t block_id : blocks) {
     if (!block_launched_[block_id]) continue;
-    bool fully_free = true;
+    // Any free BU re-pends the block: a preempted map may have credited a
+    // consumed prefix, so the block can come back partially processed and
+    // the relaunch covers just the remainder (see launch_pending_block).
+    bool any_free = false;
     for (const BlockUnitId bu : layout.blocks[block_id].bus) {
-      if (ctx.index().taken(bu)) {
-        fully_free = false;
+      if (!ctx.index().taken(bu)) {
+        any_free = true;
         break;
       }
     }
-    if (fully_free) {
+    if (any_free) {
       block_launched_[block_id] = 0;
       ++pending_count_;
     }

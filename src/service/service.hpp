@@ -1,0 +1,162 @@
+// Continuous multi-tenant cluster service.
+//
+// Everything below mr/ simulates one job (or one pre-declared batch); real
+// clusters run as a *service*: named tenants submit jobs in an open arrival
+// stream, an admission queue bounds how many applications run at once, and
+// a cluster scheduler divides containers between the admitted jobs by
+// tenant share. This layer closes that gap:
+//
+//   arrivals   Poisson per tenant (seeded, pre-generated, merged by time),
+//              each arrival drawing the next benchmark from the tenant's
+//              rotation with its own layout/noise seed,
+//   admission  a FIFO-fair queue with a concurrency cap: a freed slot in
+//              the cap goes to the queued job of the tenant with the least
+//              weighted running work (ties: earliest arrival),
+//   sharing    MultiJobCoordinator fair / weighted-fair arbitration, with
+//              optional container preemption of over-share tenants,
+//   SLOs       per-tenant JCT and queueing-delay distributions (exact
+//              p50/p99 via SampleSet) plus a sampled slot-share series and
+//              Jain's fairness index across tenants.
+//
+// Determinism contract: identical ServiceConfig (including seed) →
+// identical arrivals, admissions, placements and ServiceResult JSON, byte
+// for byte. The result JSON carries no wall-clock fields; a pinned golden
+// hash over it guards the whole stack in CI.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "mr/multi_job.hpp"
+#include "workloads/experiment.hpp"
+
+namespace flexmr::service {
+
+/// One named tenant of the shared cluster.
+struct TenantSpec {
+  std::string name;
+  /// Fair-share weight under kWeightedFair (and preemption shares).
+  double weight = 1.0;
+  /// Mean Poisson arrival rate, jobs per simulated hour.
+  double arrivals_per_hour = 30.0;
+  /// PUMA benchmark codes cycled per arrival ("WC", "II", ...).
+  std::vector<std::string> benchmarks;
+  workloads::InputScale scale = workloads::InputScale::kSmall;
+  /// Per-job scheduling policy (each tenant may run a different one —
+  /// e.g. a FlexMap tenant next to a stock-Hadoop tenant).
+  workloads::SchedulerKind scheduler = workloads::SchedulerKind::kFlexMap;
+};
+
+struct ServiceConfig {
+  std::vector<TenantSpec> tenants;
+  /// The arrival stream is truncated to this many jobs in time order.
+  std::size_t total_jobs = 100;
+  /// Admission cap: jobs running concurrently (YARN's max-applications).
+  std::uint32_t max_concurrent_jobs = 4;
+  mr::SharePolicy policy = mr::SharePolicy::kWeightedFair;
+  mr::PreemptionConfig preemption;
+  MiB block_size = kDefaultBlockMiB;
+  std::uint32_t replication = 3;
+  /// params.seed is the master seed: arrivals, layouts, per-job noise and
+  /// scheduler seeds all derive from it.
+  mr::SimParams params;
+  /// Cluster-level failure injection, (node, time) pairs.
+  std::vector<std::pair<NodeId, SimTime>> node_failures;
+  /// Cadence of the per-tenant slot-share sampler.
+  SimDuration share_sample_period_s = 30.0;
+};
+
+/// Lifecycle of one job through the service.
+struct JobRecord {
+  std::size_t job = 0;     ///< Global id, arrival order.
+  std::size_t tenant = 0;  ///< Index into ServiceConfig::tenants.
+  std::string benchmark;
+  SimTime arrival = 0;
+  SimTime admitted = 0;
+  SimTime finish = 0;
+  bool aborted = false;
+
+  double jct() const { return finish - arrival; }
+  double queue_delay() const { return admitted - arrival; }
+};
+
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_aborted = 0;
+  SampleSet jct;          ///< finish − arrival, per job (seconds).
+  SampleSet queue_delay;  ///< admitted − arrival, per job (seconds).
+  SampleSet slot_share;   ///< Sampled fraction of cluster containers.
+};
+
+struct ServiceResult {
+  std::string policy;
+  std::uint64_t seed = 0;
+  std::size_t total_jobs = 0;
+  SimTime makespan = 0;  ///< Finish time of the last job.
+  std::uint64_t preemption_kills = 0;
+  /// Jain's index over tenant mean slot shares (1 = perfectly fair).
+  double fairness_index = 1.0;
+  std::vector<TenantStats> tenants;
+  std::vector<JobRecord> jobs;  ///< Global id order.
+
+  /// Deterministic flexmr.service.v1 document (no wall-clock fields).
+  std::string json() const;
+};
+
+class ClusterService {
+ public:
+  /// Validates `config` (ConfigError on empty tenants, unknown benchmark
+  /// codes, non-positive rates/weights/caps) and pre-generates the arrival
+  /// stream and per-job layouts, so run() is pure event-driven execution.
+  ClusterService(Simulator& sim, cluster::Cluster& cluster,
+                 ServiceConfig config);
+
+  /// Merged observability for the whole service: every admitted job joins
+  /// the one session under its own pid/token namespace. Call before run().
+  void set_trace(obs::TraceSession* trace);
+
+  /// Runs the open stream to completion. One-shot.
+  ServiceResult run();
+
+  const mr::MultiJobCoordinator& coordinator() const { return coord_; }
+
+ private:
+  /// One arrival, fully materialized up front for determinism.
+  struct PendingJob {
+    std::size_t tenant = 0;
+    const workloads::Benchmark* bench = nullptr;
+    SimTime arrival = 0;
+    std::uint64_t seed = 0;
+    hdfs::FileLayout layout;
+    std::unique_ptr<mr::Scheduler> scheduler;
+  };
+
+  void generate_arrivals();
+  void on_arrival(std::size_t job);
+  void try_admit();
+  void poll_completions();
+  void sample_shares();
+
+  Simulator* sim_;
+  cluster::Cluster* cluster_;
+  ServiceConfig config_;
+  mr::MultiJobCoordinator coord_;
+  obs::TraceSession* trace_ = nullptr;
+
+  std::vector<PendingJob> pending_;   ///< Global id order (= arrival order).
+  std::vector<JobRecord> records_;    ///< Parallel to pending_.
+  std::vector<std::size_t> queue_;    ///< Arrived, waiting for admission.
+  /// (global job id, coordinator index) of admitted unfinished jobs.
+  std::vector<std::pair<std::size_t, std::size_t>> active_;
+  std::vector<std::size_t> tenant_running_;  ///< Admitted jobs per tenant.
+  std::vector<SampleSet> tenant_share_samples_;
+  std::size_t completed_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace flexmr::service

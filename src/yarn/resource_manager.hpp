@@ -31,6 +31,25 @@ class ResourceManager {
     handler_ = std::move(handler);
   }
 
+  /// Handler invoked by preempt(want): kill running containers until up to
+  /// `want` slots are freed; returns the number actually reclaimed. YARN's
+  /// capacity/fair schedulers preempt through the RM the same way — the RM
+  /// owns the decision *when*, the AMs own *which* container dies.
+  using PreemptionHandler = std::function<std::uint32_t(std::uint32_t)>;
+
+  void set_preemption_handler(PreemptionHandler handler) {
+    preemption_handler_ = std::move(handler);
+  }
+
+  /// Requests `want` containers back from over-share applications; routed
+  /// to the installed handler. Returns how many were reclaimed (0 with no
+  /// handler). The freed slots re-enter circulation through the normal
+  /// release → offer path, so arbitration decides who gets them next.
+  std::uint32_t preempt(std::uint32_t want) {
+    if (!preemption_handler_ || want == 0) return 0;
+    return preemption_handler_(want);
+  }
+
   std::uint32_t free_slots(NodeId node) const { return free_[node]; }
   std::uint32_t total_free() const { return total_free_; }
   /// Slots of *alive* nodes (mark_dead subtracts the failed node's).
@@ -88,6 +107,7 @@ class ResourceManager {
   std::uint32_t total_slots_ = 0;
   std::uint32_t total_free_ = 0;  ///< Maintained incrementally.
   OfferHandler handler_;
+  PreemptionHandler preemption_handler_;
   bool offering_ = false;  ///< Guards against re-entrant offer cascades.
 };
 

@@ -1,0 +1,52 @@
+// sweep() determinism: the bench harness folds per-item results in fixed
+// index order, so two sweeps over the same grid must agree bit for bit —
+// however the thread pool interleaves item completion. Welford's update is
+// not commutative in floating point; folding in completion order would make
+// BENCH_*.json means/stddevs drift run to run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "cluster/presets.hpp"
+
+namespace flexmr::bench {
+namespace {
+
+TEST(BenchSweep, ByteIdenticalAcrossRuns) {
+  auto bench = workloads::benchmark("WC");
+  bench.small_input = 512.0;
+  const std::vector<SweepPoint> points = {
+      {workloads::SchedulerKind::kHadoopNoSpec, kDefaultBlockMiB, "hadoop"},
+      {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB, "flexmap"},
+  };
+  const std::vector<std::uint64_t> seeds = {1000, 1017, 1034};
+  const auto make_cluster = [] { return cluster::presets::homogeneous6(); };
+
+  const auto first = sweep(make_cluster, bench, workloads::InputScale::kSmall,
+                           points, seeds);
+  const auto second = sweep(make_cluster, bench, workloads::InputScale::kSmall,
+                            points, seeds);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].label, second[i].label);
+    // Exact double equality on every folded statistic (wall clock aside —
+    // it genuinely differs run to run and never reaches an artifact mean
+    // that feeds plots).
+    const auto expect_identical = [&](const OnlineStats& a,
+                                      const OnlineStats& b) {
+      EXPECT_EQ(a.count(), b.count());
+      EXPECT_EQ(a.mean(), b.mean());
+      EXPECT_EQ(a.stddev(), b.stddev());
+      EXPECT_EQ(a.min(), b.min());
+      EXPECT_EQ(a.max(), b.max());
+    };
+    expect_identical(first[i].jct, second[i].jct);
+    expect_identical(first[i].efficiency, second[i].efficiency);
+    expect_identical(first[i].productivity, second[i].productivity);
+  }
+}
+
+}  // namespace
+}  // namespace flexmr::bench
