@@ -31,6 +31,7 @@ double FaultPlan::attempt_failure_prob_for(NodeId node) const {
 
 bool FaultPlan::empty() const {
   if (!crashes.empty() || !degradations.empty()) return false;
+  if (has_am_faults()) return false;
   if (attempt_failure_prob > 0.0 || container_launch_failure_prob > 0.0 ||
       fetch_failure_prob > 0.0) {
     return false;
@@ -40,7 +41,7 @@ bool FaultPlan::empty() const {
                      [](const auto& e) { return e.second <= 0.0; });
 }
 
-void FaultPlan::validate(std::uint32_t num_nodes) const {
+void FaultPlan::validate(std::uint32_t num_nodes, SimTime horizon_s) const {
   check_prob(attempt_failure_prob, "attempt_failure_prob");
   check_prob(container_launch_failure_prob, "container_launch_failure_prob");
   check_prob(blacklist_ignore_fraction, "blacklist_ignore_fraction");
@@ -66,6 +67,49 @@ void FaultPlan::validate(std::uint32_t num_nodes) const {
   if (max_attempts == 0) fail("FaultPlan: max_attempts must be >= 1");
   if (blacklist_threshold == 0) {
     fail("FaultPlan: blacklist_threshold must be >= 1");
+  }
+  if (am_max_attempts == 0) {
+    fail("FaultPlan: am_max_attempts must be >= 1");
+  }
+  for (const SimTime at : am_crashes) {
+    if (at < 0.0) {
+      std::ostringstream os;
+      os << "FaultPlan: am_crashes entry at negative time " << at;
+      fail(os.str());
+    }
+    if (horizon_s > 0.0 && at >= horizon_s) {
+      std::ostringstream os;
+      os << "FaultPlan: am_crashes entry at " << at
+         << " is beyond the run horizon " << horizon_s;
+      fail(os.str());
+    }
+  }
+  if (am_crash_mttf_s < 0.0) {
+    std::ostringstream os;
+    os << "FaultPlan: am_crash_mttf_s must be >= 0, got " << am_crash_mttf_s;
+    fail(os.str());
+  }
+  if (am_restart_delay_s < 0.0) {
+    std::ostringstream os;
+    os << "FaultPlan: am_restart_delay_s must be >= 0, got "
+       << am_restart_delay_s;
+    fail(os.str());
+  }
+  if (am_snapshot_interval_s < 0.0) {
+    std::ostringstream os;
+    os << "FaultPlan: am_snapshot_interval_s must be >= 0, got "
+       << am_snapshot_interval_s;
+    fail(os.str());
+  }
+  if (horizon_s > 0.0) {
+    for (const auto& crash : crashes) {
+      if (crash.at >= horizon_s) {
+        std::ostringstream os;
+        os << "FaultPlan: crash of node " << crash.node << " at "
+           << crash.at << " is beyond the run horizon " << horizon_s;
+        fail(os.str());
+      }
+    }
   }
   std::vector<char> overridden(num_nodes, 0);
   for (const auto& [node, p] : node_attempt_failure_prob) {
@@ -163,6 +207,8 @@ const char* to_string(FaultEventType type) {
     case FaultEventType::kDataLoss: return "data-loss";
     case FaultEventType::kFetchFailure: return "fetch-failure";
     case FaultEventType::kMapOutputLost: return "map-output-lost";
+    case FaultEventType::kAmCrash: return "am-crash";
+    case FaultEventType::kAmRestart: return "am-restart";
   }
   return "?";
 }
@@ -221,6 +267,25 @@ void write_fault_plan(JsonWriter& writer, const FaultPlan& plan) {
       defaults.re_replication_bandwidth_mibps) {
     writer.field("re_replication_bandwidth_mibps",
                  plan.re_replication_bandwidth_mibps);
+  }
+  // AM-fault knobs: same conditional contract — absent unless the plan
+  // actually arms AM recovery or changes a recovery default.
+  if (!plan.am_crashes.empty()) {
+    writer.key("am_crashes").begin_array();
+    for (const SimTime at : plan.am_crashes) writer.value(at);
+    writer.end_array();
+  }
+  if (plan.am_crash_mttf_s != defaults.am_crash_mttf_s) {
+    writer.field("am_crash_mttf_s", plan.am_crash_mttf_s);
+  }
+  if (plan.am_max_attempts != defaults.am_max_attempts) {
+    writer.field("am_max_attempts", plan.am_max_attempts);
+  }
+  if (plan.am_restart_delay_s != defaults.am_restart_delay_s) {
+    writer.field("am_restart_delay_s", plan.am_restart_delay_s);
+  }
+  if (plan.am_snapshot_interval_s != defaults.am_snapshot_interval_s) {
+    writer.field("am_snapshot_interval_s", plan.am_snapshot_interval_s);
   }
   writer.field("node_liveness_timeout_s", plan.node_liveness_timeout_s);
   writer.field("max_attempts", plan.max_attempts);

@@ -95,6 +95,37 @@ struct FaultPlan {
   /// `block_size` MiB takes block_size / bandwidth seconds to restore.
   double re_replication_bandwidth_mibps = 100.0;
 
+  // ---- AppMaster faults (journaled job recovery) ------------------------
+  //
+  // The AM itself can die: every in-flight container is torn down (its
+  // work is wasted simulated time, matching MRAppMaster semantics), and
+  // after `am_restart_delay_s` a fresh AM attempt replays the job journal
+  // and re-runs only uncommitted work — until `am_max_attempts` is spent,
+  // at which point the job aborts.
+
+  /// Fixed simulated times at which the current AM attempt crashes.
+  std::vector<SimTime> am_crashes;
+  /// Probabilistic AM death: mean time to failure per AM attempt,
+  /// exponentially distributed (0 = disabled). Each restarted attempt
+  /// draws its own lifetime.
+  SimDuration am_crash_mttf_s = 0.0;
+  /// AM attempts before the job aborts
+  /// (mapreduce.am.max-attempts, Hadoop default 2).
+  std::uint32_t am_max_attempts = 2;
+  /// Delay between an AM crash and the replacement attempt registering
+  /// with the RM (container re-allocation + JVM spin-up).
+  SimDuration am_restart_delay_s = 10.0;
+  /// Cadence at which the journal folds its log into a snapshot (piggy-
+  /// backed on the AM heartbeat, so the effective cadence is quantized to
+  /// heartbeat periods). 0 = never snapshot (replay walks the full log).
+  SimDuration am_snapshot_interval_s = 60.0;
+
+  /// True when the plan can kill the AM (fixed-time or probabilistic) —
+  /// such runs must go through the recovery runner.
+  bool has_am_faults() const {
+    return !am_crashes.empty() || am_crash_mttf_s > 0.0;
+  }
+
   /// Declare a node lost after this long without a heartbeat.
   SimDuration node_liveness_timeout_s = 30.0;
   /// Attempts per unit of work before the job aborts (Hadoop: 4).
@@ -115,8 +146,10 @@ struct FaultPlan {
   /// Structural validation against a cluster of `num_nodes` nodes. Throws
   /// ConfigError naming the offending entry: out-of-range node ids,
   /// negative times, probabilities outside [0, 1], rejoin before crash,
-  /// overlapping crash intervals on one node, degenerate windows.
-  void validate(std::uint32_t num_nodes) const;
+  /// overlapping crash intervals on one node, degenerate windows, AM knobs
+  /// out of range. A positive `horizon_s` additionally rejects crash times
+  /// scheduled at or beyond it (they could never fire within the run).
+  void validate(std::uint32_t num_nodes, SimTime horizon_s = 0.0) const;
 };
 
 /// Fault-timeline event kinds recorded into JobResult::events.
@@ -133,6 +166,8 @@ enum class FaultEventType {
   kDataLoss,        ///< A block lost its last replica before being read.
   kFetchFailure,    ///< A reducer's shuffle fetch from a map host failed.
   kMapOutputLost,   ///< Fetch-failure reports forced a map re-execution.
+  kAmCrash,         ///< The AppMaster died; in-flight containers torn down.
+  kAmRestart,       ///< A replacement AM attempt replayed the journal.
 };
 
 /// Stable wire names ("crash", "detected", "rejoin", ...).

@@ -21,6 +21,16 @@ void FlexMapScheduler::on_job_start(mr::DriverContext& ctx) {
   reduce_assigned_.clear();
 }
 
+void FlexMapScheduler::on_recovery(
+    mr::DriverContext& ctx, const recover::RecoveredState& recovered) {
+  on_job_start(ctx);
+  for (const recover::SchedulerNote& note : recovered.scheduler_notes) {
+    if (note.kind != kSizingNoteKind) continue;
+    sizer_->restore_unit(static_cast<NodeId>(note.a),
+                         static_cast<std::uint32_t>(note.b), note.c != 0);
+  }
+}
+
 std::optional<mr::MapLaunch> FlexMapScheduler::on_slot_free(
     mr::DriverContext& ctx, NodeId node) {
   if (ctx.index().unprocessed() == 0) return std::nullopt;
@@ -68,7 +78,6 @@ void FlexMapScheduler::on_map_dispatch(mr::DriverContext& ctx, TaskId task,
 
 void FlexMapScheduler::on_map_complete(mr::DriverContext& ctx,
                                        const mr::TaskRecord& rec) {
-  (void)ctx;
   const auto it = task_epoch_.find(rec.id);
   if (it == task_epoch_.end()) return;
   const std::uint32_t epoch = it->second;
@@ -77,7 +86,18 @@ void FlexMapScheduler::on_map_complete(mr::DriverContext& ctx,
   trace_.push_back(SizingTracePoint{rec.node, rec.phase_progress_at_end,
                                     rec.num_bus, rec.input_mib,
                                     rec.productivity()});
+  const std::uint32_t unit_before = sizer_->size_unit(rec.node);
+  const bool frozen_before = sizer_->frozen(rec.node);
   sizer_->on_task_complete(rec.node, epoch, rec.productivity());
+  // Journal sizing commits (unit growth OR a freeze) so a restarted AM
+  // resumes the ramp instead of re-climbing from 1 BU.
+  if (recover::JobJournal* journal = ctx.journal();
+      journal != nullptr && (sizer_->size_unit(rec.node) != unit_before ||
+                             sizer_->frozen(rec.node) != frozen_before)) {
+    journal->record_scheduler_note(
+        {kSizingNoteKind, rec.node, sizer_->size_unit(rec.node),
+         sizer_->frozen(rec.node) ? 1u : 0u});
+  }
 }
 
 void FlexMapScheduler::on_heartbeat(mr::DriverContext& ctx, NodeId node) {

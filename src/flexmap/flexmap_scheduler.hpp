@@ -26,6 +26,11 @@
 
 namespace flexmr::flexmap {
 
+/// SchedulerNote.kind tag for journaled sizing-unit changes: {a = node,
+/// b = size unit in BUs, c = frozen flag}. Absolute values, so replay in
+/// commit order is idempotent and last-wins.
+inline constexpr std::uint32_t kSizingNoteKind = 0xF1E0;
+
 struct FlexMapOptions {
   SizingOptions sizing;
   bool reduce_bias = true;  ///< Ablation: disable c_i^2 reduce placement.
@@ -66,6 +71,12 @@ class FlexMapScheduler final : public mr::Scheduler {
   std::string name() const override { return "flexmap"; }
 
   void on_job_start(mr::DriverContext& ctx) override;
+  /// Rebuilds from scratch, then replays journaled sizing notes so the
+  /// per-node size-unit ramp resumes where the crashed AM left it (speed
+  /// estimates are deliberately NOT journaled — the new AM re-observes
+  /// them through heartbeats, like a real restarted MRAppMaster).
+  void on_recovery(mr::DriverContext& ctx,
+                   const recover::RecoveredState& recovered) override;
   std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
                                             NodeId node) override;
   void on_map_dispatch(mr::DriverContext& ctx, TaskId task,

@@ -78,6 +78,20 @@ class DynamicSizer {
   bool on_task_complete(NodeId node, std::uint32_t task_epoch,
                         double productivity);
 
+  /// Replays a journaled sizing decision on a restarted AM: the node jumps
+  /// straight to the journaled (absolute) size unit and freeze flag, with
+  /// a fresh epoch. Notes replay in commit order, so the last one wins —
+  /// the recovered sizer resumes from exactly where the crashed AM left
+  /// the ramp instead of re-climbing from 1 BU.
+  void restore_unit(NodeId node, std::uint32_t unit, bool frozen) {
+    FLEXMR_ASSERT(node < nodes_.size());
+    const std::uint32_t bound =
+        options_.max_unit_bus > 0 ? options_.max_unit_bus : kMaxSizeUnit;
+    nodes_[node].size_unit = unit < 1 ? 1u : (unit > bound ? bound : unit);
+    nodes_[node].frozen = frozen;
+    ++nodes_[node].epoch;
+  }
+
   /// Restarts `node` from scratch (a crashed node rejoining the cluster):
   /// back to a 1-BU size unit, unfrozen, with a fresh epoch so stale
   /// completions from the old incarnation cannot trigger growth.

@@ -68,6 +68,11 @@ void JobDriver::start() {
   }
   planned_failures_.clear();
   plan_.validate(cluster_->num_nodes());
+  if (plan_.has_am_faults() && journal_ == nullptr) {
+    throw ConfigError(
+        "FaultPlan arms AM crashes but no recovery journal is installed; "
+        "route the run through the recovery runner");
+  }
 
   result_.benchmark = job_.name;
   result_.scheduler = scheduler_->name();
@@ -76,26 +81,48 @@ void JobDriver::start() {
   result_.fault_plan = plan_;
   result_.submit_time = sim_->now();
   result_.map_phase_start = sim_->now();
+  result_.am_restarts = am_attempt_ - 1;
 
   bu_attempt_failures_.assign(layout_->bus.size(), 0);
   node_failed_attempts_.assign(cluster_->num_nodes(), 0);
   blacklisted_.assign(cluster_->num_nodes(), 0);
   bu_done_.assign(layout_->bus.size(), 0);
 
+  if (recovered_) {
+    // Attempt-failure budgets and the blacklist they feed survive the AM:
+    // a restarted AM must not grant a flaky BU or node a fresh retry
+    // allowance (that would unbound the job's failure tolerance).
+    for (const auto& [bu, n] : recovered_->bu_attempt_failures) {
+      bu_attempt_failures_[bu] = n;
+    }
+    // (Per-reducer budgets are folded in by restore_from_journal once the
+    // reduce plan exists and the vector is sized.)
+    for (const auto& [node, n] : recovered_->node_failed_attempts) {
+      node_failed_attempts_[node] = n;
+      if (n >= plan_.blacklist_threshold) blacklisted_[node] = 1;
+    }
+  }
+
   if (!plan_.empty()) {
     // The live NameNode view only matters when nodes can die; without
-    // faults the static layout is already the truth.
-    replica_mgr_ = std::make_unique<hdfs::ReplicaManager>(
-        *layout_, cluster_->num_nodes());
-    if (plan_.re_replication) {
-      replica_mgr_->enable_re_replication(
-          *sim_, plan_.re_replication_bandwidth_mibps);
+    // faults the static layout is already the truth. A recovered attempt
+    // adopts its predecessor's (the replica map must not forget deaths);
+    // only the handlers are re-pointed at this driver.
+    if (!replica_mgr_) {
+      replica_mgr_ = std::make_unique<hdfs::ReplicaManager>(
+          *layout_, cluster_->num_nodes());
+      if (plan_.re_replication) {
+        replica_mgr_->enable_re_replication(
+            *sim_, plan_.re_replication_bandwidth_mibps);
+      }
     }
     replica_mgr_->set_copy_complete_handler(
         [this](std::uint32_t block, NodeId target) {
           on_block_re_replicated(block, target);
         });
-    injector_ = std::make_unique<faults::FaultInjector>(plan_, params_.seed);
+    if (!injector_) {
+      injector_ = std::make_unique<faults::FaultInjector>(plan_, params_.seed);
+    }
     injector_->set_crash_handler([this](NodeId node, bool silent) {
       if (done_) return;
       record_fault(faults::FaultEventType::kCrash, node);
@@ -107,9 +134,25 @@ void JobDriver::start() {
     });
     injector_->set_rejoin_handler(
         [this](NodeId node) { on_node_rejoin(node); });
-    for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
-      rm_.record_heartbeat(node, sim_->now());
+    if (!recovered_) {
+      // A restarted AM does NOT reseed liveness: heartbeats missed during
+      // AM downtime count toward silent-crash expiry, exactly as a real
+      // RM's NM-liveness view keeps running while the AM is down.
+      for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+        rm_.record_heartbeat(node, sim_->now());
+      }
     }
+  } else if (replica_mgr_) {
+    // An adopted NameNode view with an empty local plan: multi-job drivers
+    // learn of node deaths from the coordinator (which creates the replica
+    // map lazily), so a successor attempt can inherit one without owning an
+    // injector. Only the handler is re-pointed — building an injector from
+    // the empty plan would make restore_from_journal treat every RM-dead
+    // node as rejoined.
+    replica_mgr_->set_copy_complete_handler(
+        [this](std::uint32_t block, NodeId target) {
+          on_block_re_replicated(block, target);
+        });
   }
 
   if (owned_rm_) {
@@ -124,11 +167,22 @@ void JobDriver::start() {
         [this](NodeId n, MiBps) { on_speed_change(n); }));
   }
 
+  if (recovered_) restore_from_journal();
+
   trace_setup();
 
-  scheduler_->on_job_start(*this);
+  if (recovered_) {
+    record_fault(faults::FaultEventType::kAmRestart, kInvalidNode,
+                 kInvalidTask, am_attempt_);
+    scheduler_->on_recovery(*this, *recovered_);
+  } else {
+    scheduler_->on_job_start(*this);
+  }
 
-  if (injector_) injector_->arm(*sim_, *cluster_);
+  // The injector is armed exactly once per job: a recovered attempt
+  // inherits its predecessor's armed injector (pending crash/rejoin
+  // events and exhausted probability draws included).
+  if (injector_ && am_attempt_ == 1) injector_->arm(*sim_, *cluster_);
 
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();
@@ -347,6 +401,11 @@ void JobDriver::map_complete(TaskId id) {
   processed_bus_ += task.bus.size();
   for (const BlockUnitId bu : task.bus) bu_done_[bu] = 1;
   intermediate_on_node_[node] += task.size * job_.shuffle_ratio;
+  // Commit point: the credited BU set is durable from here — an AM crash
+  // after this append replays the map instead of re-running it.
+  if (journal_ != nullptr) {
+    journal_->record_map_commit(id, node, task.bus, task.size);
+  }
   record_map(task, TaskStatus::kCompleted, task.size,
              static_cast<std::uint32_t>(task.bus.size()));
   const TaskRecord completed_rec = result_.tasks.back();
@@ -482,6 +541,11 @@ std::vector<BlockUnitId> JobDriver::reclaim_map(TaskId id,
   processed_bus_ += kept;
   for (const BlockUnitId bu : task.bus) bu_done_[bu] = 1;
   intermediate_on_node_[node] += acc * job_.shuffle_ratio;
+  // Partial-credit commit point: the kept prefix is durable (the journal
+  // stores the exact BU set, so replay re-credits precisely these units).
+  if (journal_ != nullptr && kept > 0) {
+    journal_->record_map_commit(id, node, task.bus, acc);
+  }
   record_map(task, kept > 0 ? TaskStatus::kPartialCompleted
                             : TaskStatus::kKilled,
              acc, static_cast<std::uint32_t>(kept));
@@ -529,17 +593,23 @@ void JobDriver::finish_map_phase() {
 // Reduce phase
 // ---------------------------------------------------------------------------
 
-void JobDriver::enqueue_reducers() {
+void JobDriver::enqueue_reducers(std::uint32_t forced_total) {
   total_intermediate_ = 0;
   for (const MiB m : intermediate_on_node_) total_intermediate_ += m;
 
-  std::uint32_t total = job_.num_reducers;
+  std::uint32_t total = forced_total > 0 ? forced_total : job_.num_reducers;
   if (total == 0) {
     // Auto-sizing: one reducer per reducer_input_target MiB, at most one
     // wave across the cluster.
     total = static_cast<std::uint32_t>(
         std::ceil(total_intermediate_ / params_.reducer_input_target));
     total = std::clamp<std::uint32_t>(total, 1, rm_.total_slots());
+  }
+  // Commit point: auto-sizing clamps against *live* slots, which may
+  // differ when a restarted AM replans — so the count is pinned, never
+  // recomputed (forced_total is the journaled value coming back).
+  if (journal_ != nullptr && forced_total == 0) {
+    journal_->record_reduce_plan(total);
   }
 
   // Partition weights: uniform, or Zipf(s) for key-skewed jobs. Reducers
@@ -769,6 +839,7 @@ void JobDriver::report_fetch_failure(NodeId host) {
     map_fetch_reports_.resize(map_tasks_.size(), 0);
   }
   const std::uint32_t reports = ++map_fetch_reports_[victim->id];
+  if (journal_ != nullptr) journal_->record_fetch_report(victim->id);
   if (reports < plan_.max_fetch_failures_per_map) return;
 
   // Too many fetch-failures: the attempt is retroactively FAILED. The
@@ -781,6 +852,7 @@ void JobDriver::report_fetch_failure(NodeId host) {
   BlockUnitId worst_bu = 0;
   for (const BlockUnitId bu : victim->bus) {
     const std::uint32_t attempts = ++bu_attempt_failures_[bu];
+    if (journal_ != nullptr) journal_->record_bu_attempt_failure(bu);
     if (attempts > worst_attempts) {
       worst_attempts = attempts;
       worst_bu = bu;
@@ -860,6 +932,11 @@ void JobDriver::reduce_complete(std::size_t idx) {
   rec.input_mib = task.input;
   rec.phase_progress_at_end = 1.0;
   result_.tasks.push_back(rec);
+  // Commit point: the reducer's output is durable (HDFS-committed).
+  if (journal_ != nullptr) {
+    journal_->record_reduce_commit(static_cast<std::uint32_t>(idx),
+                                   task.node, task.input);
+  }
 
   if (tracer_ != nullptr) {
     tracer_->task_end(ttok(rec.id), sim_->now(), {{"status", "completed"}});
@@ -982,6 +1059,15 @@ void JobDriver::heartbeat() {
                      static_cast<double>(rm_.total_free()));
   }
 
+  // Journal maintenance piggybacks on the heartbeat (the effective cadence
+  // quantizes to heartbeat periods): fold the log tail into the snapshot
+  // so replay cost stays bounded by job *width*, not length.
+  if (journal_ != nullptr && plan_.am_snapshot_interval_s > 0.0 &&
+      sim_->now() - journal_->last_snapshot_at() >=
+          plan_.am_snapshot_interval_s - 1e-9) {
+    journal_->snapshot(sim_->now());
+  }
+
   sim_->schedule_after(params_.heartbeat_period_s, [this]() { heartbeat(); });
 }
 
@@ -1009,6 +1095,229 @@ void JobDriver::install_faults(faults::FaultPlan plan) {
                     "install_faults is for single-job mode (a shared-RM "
                     "coordinator owns cluster-level fault state)");
   plan_ = std::move(plan);
+}
+
+// ---------------------------------------------------------------------------
+// AM crash + journaled recovery
+// ---------------------------------------------------------------------------
+
+void JobDriver::set_journal(recover::JobJournal* journal) {
+  FLEXMR_ASSERT_MSG(!started_, "install the journal before start()");
+  journal_ = journal;
+}
+
+void JobDriver::crash_am() {
+  if (done_) return;
+  FLEXMR_ASSERT_MSG(journal_ != nullptr, "crash_am without a journal");
+  am_crashed_ = true;
+  record_fault(faults::FaultEventType::kAmCrash, kInvalidNode, kInvalidTask,
+               am_attempt_);
+
+  AmAttemptRecord attempt;
+  attempt.attempt = am_attempt_;
+  attempt.crash_time = sim_->now();
+
+  // Going done() *before* releasing slots: every release below cascades
+  // into the offer path, and a dead AM must decline all of them (the
+  // successor re-registers after am_restart_delay_s).
+  done_ = true;
+
+  // Tear down every in-flight map container — MRAppMaster death kills the
+  // whole application's containers, so their consumed input is wasted
+  // simulated time the successor re-runs from the journal.
+  for (const TaskId id : live_map_ids_) {
+    MapTask& task = *map_tasks_[id];
+    if (task.phase == TaskPhase::kDone) continue;
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    task.phase = TaskPhase::kDone;
+    --running_map_count_;
+    const MiB consumed =
+        task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+    attempt.wasted_mib += consumed;
+    // Exactly one of an original/copy pair owns the BU list; counting the
+    // owner only keeps wasted_units a partition of the job's BUs.
+    if (task.owns_bus) {
+      attempt.wasted_units += static_cast<std::uint64_t>(task.bus.size());
+    }
+    record_map(task, TaskStatus::kKilled, consumed, 0);
+    if (tracer_ != nullptr) {
+      trace_task_closed(id, "killed", "am crashed", consumed);
+      ctr_maps_killed_->inc();
+    }
+    const NodeId host = task.node;
+    if (!rm_.is_dead(host)) rm_.release(host);
+  }
+
+  // And every dispatched uncommitted reducer (committed ones are durable
+  // HDFS output and stay committed in the journal).
+  for (auto& owned : reduce_tasks_) {
+    ReduceTask& task = *owned;
+    if (task.node == kInvalidNode || task.phase == TaskPhase::kDone) continue;
+    if (task.pending_event != kInvalidEvent) {
+      sim_->cancel(task.pending_event);
+      task.pending_event = kInvalidEvent;
+    }
+    const MiB consumed =
+        task.integrator ? task.integrator->done(sim_->now()) : 0.0;
+    attempt.wasted_mib += consumed;
+    TaskRecord rec;
+    rec.id = task.id;
+    rec.node = task.node;
+    rec.kind = TaskKind::kReduce;
+    rec.status = TaskStatus::kKilled;
+    rec.dispatch_time = task.dispatch_time;
+    rec.compute_start = task.compute_start;
+    rec.end_time = sim_->now();
+    rec.input_mib = consumed;
+    rec.phase_progress_at_end = map_phase_progress();
+    result_.tasks.push_back(rec);
+    if (tracer_ != nullptr && tracer_->task_open(ttok(task.id))) {
+      tracer_->task_end(ttok(task.id), sim_->now(),
+                        {{"status", "killed"},
+                         {"reason", "am crashed"},
+                         {"consumed_mib", consumed}});
+    }
+    const NodeId host = task.node;
+    task.phase = TaskPhase::kDone;
+    --running_reduce_count_;
+    if (!rm_.is_dead(host)) rm_.release(host);
+  }
+
+  result_.redone_work_mib += attempt.wasted_mib;
+  result_.redone_work_units += attempt.wasted_units;
+  if (ctr_redone_units_ != nullptr) {
+    ctr_redone_units_->inc(attempt.wasted_units);
+  }
+  result_.am_attempts.push_back(attempt);
+  // No finish_time: this attempt did not finish the job — it died.
+  trace_finish();
+}
+
+AmRecoveryBaton JobDriver::release_recovery() {
+  FLEXMR_ASSERT_MSG(am_crashed_, "release_recovery before crash_am()");
+  AmRecoveryBaton baton;
+  baton.plan = plan_;
+  baton.injector = std::move(injector_);
+  baton.replica_mgr = std::move(replica_mgr_);
+  baton.journal = journal_;
+  baton.next_attempt = am_attempt_ + 1;
+  baton.recovered = journal_->replay();
+  return baton;
+}
+
+void JobDriver::adopt_recovery(AmRecoveryBaton baton) {
+  FLEXMR_ASSERT_MSG(!started_, "adopt_recovery before start()");
+  FLEXMR_ASSERT_MSG(owned_rm_ == nullptr,
+                    "a recovered attempt allocates from the surviving RM "
+                    "(use the shared-RM constructor)");
+  plan_ = std::move(baton.plan);
+  injector_ = std::move(baton.injector);
+  replica_mgr_ = std::move(baton.replica_mgr);
+  journal_ = baton.journal;
+  am_attempt_ = baton.next_attempt;
+  recovered_.emplace(std::move(baton.recovered));
+}
+
+void JobDriver::restore_from_journal() {
+  const recover::RecoveredState& rec = *recovered_;
+
+  // Replicas grown beyond the static layout by earlier attempts' re-
+  // replication join the fresh index first (before any dead node is
+  // deactivated, so a later rejoin's recount sees them too, and before
+  // any BU is taken).
+  if (replica_mgr_) {
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(layout_->blocks.size()); ++b) {
+      const hdfs::Block& block = layout_->blocks[b];
+      for (const NodeId holder : replica_mgr_->remembered_holders(b)) {
+        if (std::find(block.replicas.begin(), block.replicas.end(),
+                      holder) == block.replicas.end()) {
+          index_.add_replica(block, holder);
+        }
+      }
+    }
+  }
+
+  // Node-liveness reconciliation at re-registration: the RM remembers the
+  // deaths the previous attempt detected. A node that came back while no
+  // AM was alive to process its rejoin is reconciled here; silent deaths
+  // the old AM never detected are re-detected by heartbeat expiry (the
+  // liveness clock ran through the AM downtime).
+  for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
+    if (!rm_.is_dead(node)) continue;
+    if (injector_ && injector_->responsive(node)) {
+      rm_.mark_alive(node);
+      rm_.record_heartbeat(node, sim_->now());
+      if (replica_mgr_) replica_mgr_->on_node_restored(node);
+      record_fault(faults::FaultEventType::kRejoin, node);
+    } else {
+      failed_nodes_.insert(node);
+      index_.deactivate_node(node);
+    }
+  }
+
+  // Committed maps replay as synthetic Done tasks, in original commit
+  // order so the per-node intermediate sums rebuild with FP rounding
+  // identical to the run that produced them. Their BUs leave the pool
+  // exactly as if the maps had just run — the exactly-once invariant
+  // holds across the restart.
+  map_fetch_reports_.assign(rec.committed_maps.size(), 0);
+  for (const recover::CommittedMap& m : rec.committed_maps) {
+    index_.take_units(m.bus);
+    auto task = std::make_unique<MapTask>();
+    task->id = static_cast<TaskId>(map_tasks_.size());
+    task->node = m.node;
+    task->bus = m.bus;
+    task->size = m.size;
+    task->credited = true;
+    task->phase = TaskPhase::kDone;
+    map_fetch_reports_[task->id] = m.fetch_reports;
+    processed_bus_ += m.bus.size();
+    for (const BlockUnitId bu : m.bus) bu_done_[bu] = 1;
+    intermediate_on_node_[m.node] += m.size * job_.shuffle_ratio;
+    map_tasks_.push_back(std::move(task));
+  }
+
+  // Re-key the journal to this attempt's task-id space: the synthetic
+  // tasks above were renumbered 0..k-1 in commit order, and every future
+  // append (output losses, fetch reports, fresh commits) uses this
+  // attempt's ids — without the rebase, a third attempt's replay would
+  // mis-join old and new id spaces.
+  recover::RecoveredState rebased = rec;
+  for (std::size_t i = 0; i < rebased.committed_maps.size(); ++i) {
+    rebased.committed_maps[i].task = static_cast<TaskId>(i);
+  }
+  journal_->rebase(std::move(rebased));
+
+  if (processed_bus_ == layout_->bus.size()) map_phase_done_ = true;
+
+  // The reduce plan is pinned (auto-sizing reads live slots, which may
+  // have changed); committed reducers stay done, the rest re-pend in
+  // index order through the requeue lane.
+  if (rec.reduce_planned) {
+    enqueue_reducers(rec.num_reducers);
+    for (const auto& [idx, n] : rec.reduce_attempt_failures) {
+      reduce_attempt_failures_[idx] = n;
+    }
+    for (const auto& r : rec.committed_reduces) {
+      ReduceTask& task = *reduce_tasks_[r.index];
+      task.node = r.node;
+      task.phase = TaskPhase::kDone;
+      ++reducers_done_;
+    }
+    next_reducer_ = reduce_tasks_.size();
+    for (std::size_t idx = 0; idx < reduce_tasks_.size(); ++idx) {
+      if (reduce_tasks_[idx]->phase != TaskPhase::kDone) {
+        reduce_requeue_.push_back(idx);
+      }
+    }
+    // When the map phase is whole the shuffle can restart immediately; a
+    // phase re-opened by output loss waits for finish_map_phase again.
+    if (map_phase_done_) reduce_ready_ = true;
+  }
 }
 
 void JobDriver::record_fault(faults::FaultEventType type, NodeId node,
@@ -1230,6 +1539,8 @@ void JobDriver::lose_map_output(MapTask& task,
   }
   task.output_lost = true;
   task.credited = false;
+  // The commit is void: replay must not re-credit these BUs.
+  if (journal_ != nullptr) journal_->record_map_output_lost(task.id);
   processed_bus_ -= task.bus.size();
   for (const BlockUnitId bu : task.bus) bu_done_[bu] = 0;
   index_.put_back(task.bus);
@@ -1433,6 +1744,7 @@ void JobDriver::map_attempt_fail(TaskId id) {
   } else if (task.owns_bus) {
     for (const BlockUnitId bu : task.bus) {
       const std::uint32_t attempts = ++bu_attempt_failures_[bu];
+      if (journal_ != nullptr) journal_->record_bu_attempt_failure(bu);
       if (attempts > worst_attempts) {
         worst_attempts = attempts;
         worst_bu = bu;
@@ -1500,6 +1812,9 @@ void JobDriver::reduce_attempt_fail(std::size_t idx) {
   reduce_requeue_.push_back(idx);
 
   const std::uint32_t attempts = ++reduce_attempt_failures_[idx];
+  if (journal_ != nullptr) {
+    journal_->record_reduce_attempt_failure(static_cast<std::uint32_t>(idx));
+  }
   record_fault(launch_failure ? faults::FaultEventType::kLaunchFailure
                               : faults::FaultEventType::kAttemptFailure,
                node, rec.id, attempts);
@@ -1515,6 +1830,7 @@ void JobDriver::reduce_attempt_fail(std::size_t idx) {
 }
 
 void JobDriver::note_node_attempt_failure(NodeId node) {
+  if (journal_ != nullptr) journal_->record_node_attempt_failure(node);
   ++node_failed_attempts_[node];
   if (blacklisted_[node] == 0 &&
       node_failed_attempts_[node] >= plan_.blacklist_threshold) {
@@ -1664,6 +1980,9 @@ void JobDriver::trace_setup() {
   ctr_fetch_failures_ = &metrics.counter("fetch_failures");
   ctr_fault_events_ = &metrics.counter("fault_events");
   ctr_heartbeats_ = &metrics.counter("heartbeats");
+  ctr_am_restarts_ = &metrics.counter("am_restarts");
+  ctr_redone_units_ = &metrics.counter("redone_work_units");
+  if (am_attempt_ > 1) ctr_am_restarts_->inc();
   metrics.histogram("map.total_runtime_s");
   metrics.histogram("map.effective_runtime_s");
   metrics.histogram("map.input_mib");
@@ -1671,7 +1990,8 @@ void JobDriver::trace_setup() {
   metrics.histogram("reduce.input_mib");
 
   if (!trace_ns_.register_gauges) {
-    trace_begin_phase("map phase");
+    trace_begin_phase(map_phase_done_ ? "reduce phase (recovered)"
+                                      : "map phase");
     return;
   }
   metrics.register_gauge("cluster_utilization", [this]() {
@@ -1716,7 +2036,8 @@ void JobDriver::trace_setup() {
     }
   }
 
-  trace_begin_phase("map phase");
+  trace_begin_phase(map_phase_done_ ? "reduce phase (recovered)"
+                                    : "map phase");
 }
 
 void JobDriver::trace_begin_phase(const char* name) {

@@ -35,6 +35,7 @@
 #include "mr/params.hpp"
 #include "mr/scheduler.hpp"
 #include "obs/session.hpp"
+#include "recover/journal.hpp"
 #include "simcore/rate_integrator.hpp"
 #include "simcore/simulator.hpp"
 #include "yarn/resource_manager.hpp"
@@ -58,6 +59,22 @@ struct TraceNamespace {
   /// session registers service-level gauges once at the coordinator
   /// instead of one copy per job.
   bool register_gauges = true;
+};
+
+/// Everything a crashed AM attempt hands its successor: the durable
+/// cluster-level state that outlives one AM (fault plan, armed injector,
+/// NameNode live view) plus the journal replay the successor resumes
+/// from. The unique_ptr moves keep the injector and replica manager at
+/// stable addresses — their pending simulator events capture raw
+/// pointers — and the new driver re-points their handlers at itself in
+/// start().
+struct AmRecoveryBaton {
+  faults::FaultPlan plan;
+  std::unique_ptr<faults::FaultInjector> injector;
+  std::unique_ptr<hdfs::ReplicaManager> replica_mgr;
+  recover::JobJournal* journal = nullptr;
+  std::uint32_t next_attempt = 2;
+  recover::RecoveredState recovered;
 };
 
 class JobDriver final : public DriverContext {
@@ -141,6 +158,43 @@ class JobDriver final : public DriverContext {
   /// entries are merged in as non-silent crashes.
   void install_faults(faults::FaultPlan plan);
 
+  // ---- AM crash + journaled recovery (recover::RecoveryRunner) ----------
+
+  /// Arms journaled recovery: the driver appends to `journal` at every
+  /// commit point (map/reduce commits, output losses, attempt-failure
+  /// charges) and snapshots it on the heartbeat cadence. Required
+  /// (ConfigError at start()) when the installed plan has AM faults — the
+  /// recovery runner owns the journal and the restart loop. Must be set
+  /// before start(). Null journal + no AM faults keeps every commit site
+  /// on a pointer-test fast path (byte-identical runs).
+  void set_journal(recover::JobJournal* journal);
+
+  /// 1-based AM attempt number this driver represents.
+  std::uint32_t am_attempt() const { return am_attempt_; }
+
+  /// Kills this AM attempt: every in-flight container is torn down (its
+  /// consumed input is wasted simulated time, matching MRAppMaster
+  /// semantics — YARN kills the whole application's containers), held
+  /// slots return to the RM, the trace closes, and the driver goes
+  /// permanently done() WITHOUT a finish_time. Records kAmCrash and the
+  /// attempt's teardown accounting. No-op once done().
+  void crash_am();
+
+  /// Hands the crashed attempt's durable state (plan, armed injector,
+  /// NameNode view, journal replay) to the successor. Only valid after
+  /// crash_am().
+  AmRecoveryBaton release_recovery();
+
+  /// Makes this not-yet-started driver AM attempt N+1: adopts the dead
+  /// attempt's baton, and start() replays the journal — re-pending only
+  /// uncommitted work — instead of starting from scratch. Shared-RM form
+  /// only (the successor allocates from the surviving RM).
+  void adopt_recovery(AmRecoveryBaton baton);
+
+  /// The RM this driver allocates from; the recovery runner re-points a
+  /// surviving single-job RM's offer handler at each new attempt.
+  yarn::ResourceManager& resource_manager() { return rm_; }
+
   /// Opt-in tracing: spans/instants for every task lifecycle plus a
   /// metrics time series sampled from the run loop. Must be installed
   /// before start(); the session must outlive the driver's run (its
@@ -204,6 +258,7 @@ class JobDriver final : public DriverContext {
     return !replica_mgr_ || replica_mgr_->live_holder_count(block) > 0;
   }
   obs::EventTracer* tracer() const override { return tracer_; }
+  recover::JobJournal* journal() const override { return journal_; }
   std::vector<BlockUnitId> kill_and_reclaim(TaskId task) override;
 
  private:
@@ -273,7 +328,10 @@ class JobDriver final : public DriverContext {
                   std::uint32_t credited_bus);
   void finish_map_phase();
 
-  void enqueue_reducers();
+  /// Plans the reduce phase. `forced_total` > 0 pins the reducer count to
+  /// a journaled plan (auto-sizing reads *live* slots, which may differ
+  /// after an AM restart); 0 = plan fresh (and journal the result).
+  void enqueue_reducers(std::uint32_t forced_total = 0);
   bool dispatch_reduce(NodeId node);
   void reduce_fetch_start(std::size_t idx);
   void reduce_fetch_done(std::size_t idx);
@@ -321,6 +379,12 @@ class JobDriver final : public DriverContext {
   /// NameNode re-replication pipeline callback: a copy of `block` landed
   /// on `target`.
   void on_block_re_replicated(std::uint32_t block, NodeId target);
+
+  /// Replays the adopted RecoveredState into driver state: node liveness
+  /// reconciliation, committed maps re-credited (synthetic Done tasks in
+  /// original commit order for FP-identical bookkeeping), the reduce plan
+  /// and committed reducers restored, uncommitted reducers re-pended.
+  void restore_from_journal();
 
   double map_rate(const MapTask& task) const;
   double reduce_rate(const ReduceTask& task) const;
@@ -422,6 +486,14 @@ class JobDriver final : public DriverContext {
   bool done_ = false;
   bool started_ = false;
 
+  /// AM-recovery state: the journal this attempt appends to (null = no
+  /// recovery armed), this driver's 1-based attempt number, the replayed
+  /// state a restarted attempt resumes from, and whether crash_am() ran.
+  recover::JobJournal* journal_ = nullptr;
+  std::uint32_t am_attempt_ = 1;
+  std::optional<recover::RecoveredState> recovered_;
+  bool am_crashed_ = false;
+
   /// Opt-in observability (null unless set_trace was called). tracer_
   /// caches &trace_->tracer() so hot paths test one pointer; the counter
   /// pointers are registered in trace_setup() and stay valid for the
@@ -439,6 +511,8 @@ class JobDriver final : public DriverContext {
   obs::MetricsRegistry::Counter* ctr_fetch_failures_ = nullptr;
   obs::MetricsRegistry::Counter* ctr_fault_events_ = nullptr;
   obs::MetricsRegistry::Counter* ctr_heartbeats_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_am_restarts_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_redone_units_ = nullptr;
 
   JobResult result_;
 };

@@ -79,6 +79,18 @@ struct TaskRecord {
   }
 };
 
+/// One AM attempt's fate in a journaled-recovery run: when it died, when
+/// its successor registered, and the work the crash threw away versus the
+/// committed work the journal let the successor replay for free.
+struct AmAttemptRecord {
+  std::uint32_t attempt = 1;        ///< 1-based AM attempt number.
+  SimTime crash_time = 0;           ///< When this attempt died.
+  SimTime restart_time = 0;         ///< When the successor registered.
+  MiB wasted_mib = 0;               ///< In-flight input torn down with it.
+  std::uint64_t wasted_units = 0;   ///< In-flight BUs returned to the pool.
+  std::uint64_t replayed_units = 0; ///< Committed BUs replayed, not redone.
+};
+
 struct JobResult {
   std::string benchmark;
   std::string scheduler;
@@ -101,6 +113,14 @@ struct JobResult {
   /// Block ids whose last replica died before the block was fully read
   /// (set only on a data-loss abort).
   std::vector<std::uint32_t> lost_blocks;
+
+  /// AM restarts this job survived (0 in a crash-free run), the
+  /// per-attempt crash/replay timeline, and the total in-flight work the
+  /// crashes threw away (re-run by successor attempts).
+  std::uint32_t am_restarts = 0;
+  std::vector<AmAttemptRecord> am_attempts;
+  MiB redone_work_mib = 0;
+  std::uint64_t redone_work_units = 0;
 
   SimTime submit_time = 0;
   SimTime map_phase_start = 0;  ///< First map container dispatch.

@@ -7,6 +7,14 @@
 
 namespace flexmr::mr {
 
+namespace {
+/// Trace-token spacing between a job's AM attempts: each attempt numbers
+/// its tasks from 0 again (reduce tokens at ~1'000'000), so successors
+/// record under disjoint sub-ranges of the job's kServiceTokenStride-wide
+/// token window (room for 10 attempts per job before windows would touch).
+constexpr std::uint64_t kAmAttemptTokenStride = 10'000'000ULL;
+}  // namespace
+
 const char* to_string(SharePolicy policy) {
   switch (policy) {
     case SharePolicy::kFifo:
@@ -40,6 +48,9 @@ std::size_t MultiJobCoordinator::submit(const hdfs::FileLayout& layout,
       *sim_, *cluster_, layout, std::move(spec), params, scheduler, rm_);
   entry.submit_time = submit_time;
   entry.weight = weight;
+  entry.layout = &layout;
+  entry.params = params;
+  entry.scheduler = &scheduler;
   jobs_.push_back(std::move(entry));
   const std::size_t j = jobs_.size() - 1;
   if (started_) {
@@ -61,6 +72,42 @@ void MultiJobCoordinator::schedule_node_failure(NodeId node, SimTime time) {
     throw ConfigError("failure time must be non-negative");
   }
   failures_.emplace_back(node, time);
+}
+
+void MultiJobCoordinator::set_am_recovery(AmRecoveryConfig config) {
+  FLEXMR_ASSERT_MSG(!started_, "set_am_recovery before start");
+  if (config.max_attempts == 0) {
+    throw ConfigError("AM max_attempts must be > 0");
+  }
+  if (!(config.restart_delay_s >= 0)) {
+    throw ConfigError("AM restart delay must be non-negative");
+  }
+  am_recovery_ = config;
+}
+
+void MultiJobCoordinator::schedule_am_crash(std::size_t job, SimTime time) {
+  if (job >= jobs_.size()) {
+    throw ConfigError("AM crash scheduled for unknown job " +
+                      std::to_string(job));
+  }
+  if (time < 0) {
+    throw ConfigError("AM crash time must be non-negative");
+  }
+  Entry& entry = jobs_[job];
+  if (!entry.journal) {
+    // The journal must be writing from the job's first commit on, so the
+    // first kill for a job has to beat the job's own start.
+    FLEXMR_ASSERT_MSG(!entry.started,
+                      "first schedule_am_crash must precede the job's start");
+    entry.journal = std::make_unique<recover::JobJournal>();
+    entry.driver->set_journal(entry.journal.get());
+  }
+  if (started_) {
+    sim_->schedule_at(std::max(time, sim_->now()),
+                      [this, job]() { on_am_crash(job); });
+  } else {
+    am_crashes_.emplace_back(job, time);
+  }
 }
 
 void MultiJobCoordinator::set_trace(obs::TraceSession* trace) {
@@ -93,6 +140,9 @@ void MultiJobCoordinator::start() {
 
   for (const auto& [node, time] : failures_) {
     sim_->schedule_at(time, [this, node]() { on_node_failure(node); });
+  }
+  for (const auto& [job, time] : am_crashes_) {
+    sim_->schedule_at(time, [this, job]() { on_am_crash(job); });
   }
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     sim_->schedule_at(jobs_[j].submit_time, [this, j]() { start_job(j); });
@@ -167,6 +217,108 @@ void MultiJobCoordinator::on_node_failure(NodeId node) {
   // One deferred re-offer for the whole cluster (drivers suppress theirs):
   // survivors pick up the reclaimed work in policy order.
   sim_->schedule_after(0.0, [this]() { rm_.offer_all(); });
+}
+
+void MultiJobCoordinator::on_am_crash(std::size_t j) {
+  Entry& entry = jobs_[j];
+  // Inert when the job is not live: not yet admitted, finished, already
+  // down awaiting restart, or aborted — a crash cannot hit an AM that is
+  // not running.
+  if (!entry.started || entry.recovering || entry.driver->done()) return;
+  entry.driver->crash_am();
+  entry.attempt_records.push_back(entry.driver->result().am_attempts.back());
+  if (entry.driver->am_attempt() >= am_recovery_.max_attempts) {
+    // Stays done() with recovering false, so job_finished() reports it and
+    // result(j) carries the abort reason.
+    entry.am_aborted = true;
+    return;
+  }
+  entry.recovering = true;
+  sim_->schedule_after(am_recovery_.restart_delay_s,
+                       [this, j]() { restart_am(j); });
+}
+
+void MultiJobCoordinator::restart_am(std::size_t j) {
+  Entry& entry = jobs_[j];
+  AmRecoveryBaton baton = entry.driver->release_recovery();
+  entry.attempt_records.back().restart_time = sim_->now();
+  entry.attempt_records.back().replayed_units =
+      static_cast<std::uint64_t>(baton.recovered.replayed_units());
+
+  JobSpec spec = entry.driver->job();  // Copy before retiring the owner.
+  auto next = std::make_unique<JobDriver>(*sim_, *cluster_, *entry.layout,
+                                          std::move(spec), entry.params,
+                                          *entry.scheduler, rm_);
+  const std::uint32_t attempt_no = baton.next_attempt;
+  next->adopt_recovery(std::move(baton));
+  if (trace_ != nullptr) {
+    TraceNamespace ns;
+    ns.job_pid = obs::service_job_pid(j);
+    ns.token_base =
+        static_cast<std::uint64_t>(j) * obs::kServiceTokenStride +
+        kAmAttemptTokenStride * (attempt_no - 1);
+    ns.label = "job " + std::to_string(j) + ": " + next->job().name;
+    ns.register_gauges = false;
+    next->set_trace(trace_, std::move(ns));
+  }
+  entry.retired.push_back(std::move(entry.driver));
+  entry.driver = std::move(next);
+  entry.recovering = false;
+  // The successor re-registers through the shared offer path (handle_offer
+  // reads entry.driver, so it picks the new attempt up immediately).
+  // dead_nodes_ need no re-notification: restore_from_journal reconciles
+  // every RM-dead node during start(), and with no injector they stay dead.
+  entry.driver->start();
+}
+
+JobResult MultiJobCoordinator::result(std::size_t job) const {
+  const Entry& entry = jobs_[job];
+  JobResult merged = entry.driver->result();
+  if (entry.retired.empty() && !entry.am_aborted) return merged;
+
+  if (entry.am_aborted) {
+    // crash_am leaves no abort record; the coordinator declared the job
+    // dead when the attempt budget ran out.
+    merged.aborted = true;
+    merged.abort_reason =
+        "AM crashed on attempt " +
+        std::to_string(entry.driver->am_attempt()) + " of " +
+        std::to_string(am_recovery_.max_attempts) +
+        " (am_max_attempts exhausted)";
+  }
+  if (!entry.retired.empty()) {
+    // Attempts are disjoint in time and internally chronological, so
+    // concatenation preserves order.
+    std::vector<TaskRecord> tasks;
+    std::vector<faults::FaultEvent> events;
+    for (const auto& old : entry.retired) {
+      const JobResult& r = old->result();
+      tasks.insert(tasks.end(), r.tasks.begin(), r.tasks.end());
+      events.insert(events.end(), r.fault_events.begin(),
+                    r.fault_events.end());
+    }
+    tasks.insert(tasks.end(), merged.tasks.begin(), merged.tasks.end());
+    events.insert(events.end(), merged.fault_events.begin(),
+                  merged.fault_events.end());
+    merged.tasks = std::move(tasks);
+    merged.fault_events = std::move(events);
+    // The job began when attempt 1 did; AM downtime counts against JCT.
+    const JobResult& first = entry.retired.front()->result();
+    merged.submit_time = first.submit_time;
+    merged.map_phase_start = first.map_phase_start;
+    for (const auto& old : entry.retired) {
+      merged.map_phase_end =
+          std::max(merged.map_phase_end, old->result().map_phase_end);
+    }
+  }
+  merged.am_attempts = entry.attempt_records;
+  merged.redone_work_mib = 0;
+  merged.redone_work_units = 0;
+  for (const AmAttemptRecord& rec : entry.attempt_records) {
+    merged.redone_work_mib += rec.wasted_mib;
+    merged.redone_work_units += rec.wasted_units;
+  }
+  return merged;
 }
 
 void MultiJobCoordinator::preemption_pass() {
@@ -257,6 +409,8 @@ void MultiJobCoordinator::trace_setup() {
   metrics.counter("fetch_failures");
   metrics.counter("fault_events");
   metrics.counter("heartbeats");
+  metrics.counter("am_restarts");
+  metrics.counter("redone_work_units");
   ctr_preemptions_ = &metrics.counter("preemptions");
   metrics.histogram("map.total_runtime_s");
   metrics.histogram("map.effective_runtime_s");
@@ -285,8 +439,10 @@ void MultiJobCoordinator::trace_setup() {
 }
 
 bool MultiJobCoordinator::all_done() const {
+  // A recovering job's driver reads done() (the crashed attempt drained)
+  // but its successor has not run yet — the workload is not finished.
   return std::all_of(jobs_.begin(), jobs_.end(), [](const Entry& e) {
-    return e.started && e.driver->done();
+    return e.started && e.driver->done() && !e.recovering;
   });
 }
 
@@ -306,8 +462,8 @@ std::vector<JobResult> MultiJobCoordinator::run_all() {
 
   std::vector<JobResult> results;
   results.reserve(jobs_.size());
-  for (const auto& entry : jobs_) {
-    results.push_back(entry.driver->result());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    results.push_back(result(j));
   }
   return results;
 }

@@ -30,6 +30,7 @@
 
 #include "cluster/cluster.hpp"
 #include "mr/driver.hpp"
+#include "recover/journal.hpp"
 
 namespace flexmr::mr {
 
@@ -76,6 +77,43 @@ class MultiJobCoordinator {
   /// jobs admitted later informed at their start). Call before start().
   void schedule_node_failure(NodeId node, SimTime time);
 
+  /// AM-crash recovery knobs shared by every journaled job.
+  struct AmRecoveryConfig {
+    /// A crash on this attempt aborts the job (YARN's
+    /// yarn.resourcemanager.am.max-attempts).
+    std::uint32_t max_attempts = 2;
+    /// Downtime between an AM death and its successor's registration.
+    SimDuration restart_delay_s = 10.0;
+  };
+  /// Install before start().
+  void set_am_recovery(AmRecoveryConfig config);
+
+  /// Kills job `job`'s AM at absolute time `time`; inert if the job is not
+  /// running then (not yet admitted, finished, or already down). The first
+  /// call for a job installs its recovery journal, so it must precede that
+  /// job's start — after the coordinator itself has started, call it right
+  /// after submit(), before the start event fires.
+  void schedule_am_crash(std::size_t job, SimTime time);
+
+  /// True while `job` sits between an AM crash and its successor's start:
+  /// its driver reads done(), but the job is NOT finished.
+  bool am_recovering(std::size_t job) const { return jobs_[job].recovering; }
+  /// True when `job` died for good — its AM crashed with no attempts left.
+  bool am_aborted(std::size_t job) const { return jobs_[job].am_aborted; }
+  /// Finished for admission purposes: started, drained, and not in
+  /// AM-restart limbo.
+  bool job_finished(std::size_t job) const {
+    const Entry& e = jobs_[job];
+    return e.started && e.driver->done() && !e.recovering;
+  }
+
+  /// The job's result with the cross-attempt AM timeline folded in
+  /// (identical to driver(job).result() for never-crashed jobs): crashed
+  /// attempts' task records and fault events stitched in chronologically,
+  /// submit time restored to attempt 1's, abort reason set when the
+  /// attempt budget was exhausted.
+  JobResult result(std::size_t job) const;
+
   /// Merged observability: every job records into `trace` under its own
   /// pid/token namespace while node, NameNode and fault tracks are shared,
   /// producing ONE Perfetto document for the whole workload. Install
@@ -113,6 +151,10 @@ class MultiJobCoordinator {
   bool handle_offer(NodeId node);
   void start_job(std::size_t j);
   void on_node_failure(NodeId node);
+  /// Kills job j's live AM; schedules the restart or marks it aborted.
+  void on_am_crash(std::size_t j);
+  /// Builds job j's successor attempt from the crashed one's baton.
+  void restart_am(std::size_t j);
   void preemption_pass();
   std::uint32_t handle_preemption(std::uint32_t want);
   void trace_setup();
@@ -130,9 +172,26 @@ class MultiJobCoordinator {
     SimTime submit_time = 0;
     double weight = 1.0;
     bool started = false;
+    // Construction inputs, kept so a successor AM attempt can be built
+    // (`layout` and `scheduler` must outlive the run — same contract as
+    // submit()).
+    const hdfs::FileLayout* layout = nullptr;
+    SimParams params;
+    Scheduler* scheduler = nullptr;
+    // AM-crash recovery (populated only for journaled jobs).
+    std::unique_ptr<recover::JobJournal> journal;
+    bool recovering = false;  ///< Crashed; successor not yet started.
+    bool am_aborted = false;  ///< Crashed with no attempts left.
+    std::vector<AmAttemptRecord> attempt_records;
+    /// Crashed attempts stay alive: their pending events are done()-gated
+    /// and their task records feed result(job).
+    std::vector<std::unique_ptr<JobDriver>> retired;
   };
   std::vector<Entry> jobs_;
   std::vector<std::pair<NodeId, SimTime>> failures_;
+  /// (job, time) AM kills scheduled before start().
+  std::vector<std::pair<std::size_t, SimTime>> am_crashes_;
+  AmRecoveryConfig am_recovery_;
   /// Cluster-level ground truth: nodes already dead (applied once each).
   std::set<NodeId> dead_nodes_;
   obs::TraceSession* trace_ = nullptr;

@@ -50,6 +50,31 @@ void write_job_result(JsonWriter& writer, const JobResult& result,
   writer.field("queue_peak", result.sim_queue_peak);
   writer.end_object();
 
+  // Present only for AM-killable runs, so crash-free documents (and their
+  // pinned golden hashes) stay byte-identical to builds without the
+  // recovery subsystem.
+  if (result.fault_plan.has_am_faults() || result.am_restarts > 0 ||
+      !result.am_attempts.empty()) {
+    writer.key("recovery").begin_object();
+    writer.field("am_restarts",
+                 static_cast<std::uint64_t>(result.am_restarts));
+    writer.field("redone_work_mib", result.redone_work_mib);
+    writer.field("redone_work_units", result.redone_work_units);
+    writer.key("am_attempts").begin_array();
+    for (const AmAttemptRecord& rec : result.am_attempts) {
+      writer.begin_object();
+      writer.field("attempt", static_cast<std::uint64_t>(rec.attempt));
+      writer.field("crash_time", rec.crash_time);
+      writer.field("restart_time", rec.restart_time);
+      writer.field("wasted_mib", rec.wasted_mib);
+      writer.field("wasted_units", rec.wasted_units);
+      writer.field("replayed_units", rec.replayed_units);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+
   const auto nodes = cluster ? node_utilization(result, *cluster)
                              : node_utilization(result);
   const SimDuration span = result.jct();

@@ -25,6 +25,7 @@
 #include "mr/job.hpp"
 #include "mr/metrics.hpp"
 #include "mr/params.hpp"
+#include "recover/journal.hpp"
 
 namespace flexmr::obs {
 class EventTracer;
@@ -135,6 +136,12 @@ class DriverContext {
   /// they must only *write* to it — a tracer is never an input to policy.
   virtual obs::EventTracer* tracer() const { return nullptr; }
 
+  /// The job's AM-recovery journal, or nullptr (the default) when AM
+  /// crash recovery is not armed. Schedulers append opaque SchedulerNotes
+  /// at their own commit points (FlexMap journals sizing-unit changes);
+  /// after an AM restart the notes come back through on_recovery.
+  virtual recover::JobJournal* journal() const { return nullptr; }
+
   /// Stops a running map task (SkewTune mitigation). Its consumed BU
   /// prefix is credited as PartialCompleted; the unread suffix is returned
   /// AND put back into the index for re-taking. The task's slot is freed
@@ -150,6 +157,19 @@ class Scheduler {
 
   /// Called once before the first offer.
   virtual void on_job_start(DriverContext& ctx) { (void)ctx; }
+
+  /// Called INSTEAD of on_job_start on a restarted AM attempt. The driver
+  /// has already replayed `recovered` into its own state (committed
+  /// maps/reduces, attempt budgets, blacklist); the scheduler rebuilds its
+  /// policy state to match — the default rebuilds from scratch via
+  /// on_job_start, which is correct for policies whose bookkeeping is
+  /// derivable from the context (pending work, progress). Schedulers with
+  /// journaled notes override this to additionally replay them.
+  virtual void on_recovery(DriverContext& ctx,
+                           const recover::RecoveredState& recovered) {
+    (void)recovered;
+    on_job_start(ctx);
+  }
 
   /// A free container on `node`: return a dispatch or nullopt to decline.
   virtual std::optional<MapLaunch> on_slot_free(DriverContext& ctx,

@@ -14,6 +14,16 @@ void SkewTuneScheduler::on_job_start(mr::DriverContext& ctx) {
   pending_is_mitigation_ = false;
 }
 
+void SkewTuneScheduler::on_recovery(
+    mr::DriverContext& ctx, const recover::RecoveredState& recovered) {
+  StockHadoopScheduler::on_recovery(ctx, recovered);
+  // The virtual on_job_start re-entered above already cleared chunks_ /
+  // mitigation_tasks_ / pending_is_mitigation_; assert the contract so a
+  // future on_job_start refactor cannot silently leak pre-crash plans.
+  FLEXMR_ASSERT(chunks_.empty() && mitigation_tasks_.empty() &&
+                !pending_is_mitigation_);
+}
+
 void SkewTuneScheduler::on_map_dispatch(mr::DriverContext& ctx, TaskId task,
                                         NodeId node) {
   (void)ctx;

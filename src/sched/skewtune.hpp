@@ -45,6 +45,14 @@ class SkewTuneScheduler final : public StockHadoopScheduler {
   std::string name() const override { return "skewtune"; }
 
   void on_job_start(mr::DriverContext& ctx) override;
+  /// Mitigation state (planned chunks, mitigation-task ids) is transient
+  /// policy state deliberately NOT journaled: a restarted AM re-plans
+  /// mitigation from live observation. The base recovery rebuilds the
+  /// pending pool; on_job_start (virtually re-entered by it) clears the
+  /// queues. Killed mitigation chunks simply re-pend as part of their
+  /// block's free remainder.
+  void on_recovery(mr::DriverContext& ctx,
+                   const recover::RecoveredState& recovered) override;
   std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
                                             NodeId node) override;
   void on_map_dispatch(mr::DriverContext& ctx, TaskId task,

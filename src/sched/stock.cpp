@@ -24,6 +24,31 @@ void StockHadoopScheduler::on_job_start(mr::DriverContext& ctx) {
   }
 }
 
+void StockHadoopScheduler::on_recovery(
+    mr::DriverContext& ctx, const recover::RecoveredState& recovered) {
+  (void)recovered;  // replayed work is read back through the index
+  on_job_start(ctx);
+  // The driver replayed committed maps before calling us, so their BUs are
+  // already taken in the index. A block with no free BU left is finished
+  // work — mark it launched so the dispatch scan skips it. Blocks with a
+  // free remainder (a partial-credit prefix was committed) stay pending;
+  // launch_pending_block relaunches just the remainder.
+  const auto& layout = ctx.layout();
+  for (const auto& block : layout.blocks) {
+    bool any_free = false;
+    for (const BlockUnitId bu : block.bus) {
+      if (!ctx.index().taken(bu)) {
+        any_free = true;
+        break;
+      }
+    }
+    if (!any_free) {
+      block_launched_[block.id] = 1;
+      --pending_count_;
+    }
+  }
+}
+
 std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
     mr::DriverContext& ctx, NodeId node) {
   const auto& layout = ctx.layout();

@@ -58,6 +58,12 @@ class StockHadoopScheduler : public mr::Scheduler {
   }
 
   void on_job_start(mr::DriverContext& ctx) override;
+  /// Rebuilds the pending-block pool on a restarted AM: blocks whose every
+  /// BU was replayed from the journal (already taken in the context's
+  /// index) are done, not pending; partially-committed blocks stay pending
+  /// and relaunch covering just the free remainder.
+  void on_recovery(mr::DriverContext& ctx,
+                   const recover::RecoveredState& recovered) override;
   std::optional<mr::MapLaunch> on_slot_free(mr::DriverContext& ctx,
                                             NodeId node) override;
   /// Re-pends every block whose BUs all returned to the pool after a node

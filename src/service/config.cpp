@@ -132,6 +132,23 @@ ServiceConfig parse_service_config(const Config& config) {
         static_cast<NodeId>(std::stoul(value->substr(0, at))),
         std::stod(value->substr(at + 1)));
   }
+
+  // [am] — AM-crash injection: crashN = '<job> @ <seconds after admission>'.
+  out.am_max_attempts = static_cast<std::uint32_t>(
+      config.get_int("am.max_attempts", 2));
+  out.am_restart_delay_s = config.get_double("am.restart_delay_s", 10.0);
+  for (int i = 1;; ++i) {
+    const auto value = config.get("am.crash" + std::to_string(i));
+    if (!value) break;
+    const auto at = value->find('@');
+    if (at == std::string::npos) {
+      throw ConfigError("AM crash spec must be '<job> @ <offset>': " +
+                        *value);
+    }
+    out.am_crashes.emplace_back(
+        static_cast<std::size_t>(std::stoul(value->substr(0, at))),
+        std::stod(value->substr(at + 1)));
+  }
   return out;
 }
 

@@ -51,6 +51,21 @@ void validate(const ServiceConfig& config) {
   if (!(config.share_sample_period_s > 0)) {
     throw ConfigError("share_sample_period_s must be > 0");
   }
+  for (const auto& [job, offset] : config.am_crashes) {
+    if (job >= config.total_jobs) {
+      throw ConfigError("AM crash targets unknown job " +
+                        std::to_string(job));
+    }
+    if (offset < 0) {
+      throw ConfigError("AM crash offset must be non-negative");
+    }
+  }
+  if (config.am_max_attempts == 0) {
+    throw ConfigError("am_max_attempts must be > 0");
+  }
+  if (config.am_restart_delay_s < 0) {
+    throw ConfigError("am_restart_delay_s must be non-negative");
+  }
 }
 
 void write_sample_set(JsonWriter& w, const SampleSet& s) {
@@ -177,6 +192,11 @@ void ClusterService::try_admit() {
     const std::size_t ci =
         coord_.submit(job.layout, std::move(spec), params, *job.scheduler,
                       sim_->now(), tenant.weight);
+    // AM kills are configured as offsets from admission; the journal is
+    // installed here, before the job's start event fires.
+    for (const auto& [target, offset] : config_.am_crashes) {
+      if (target == j) coord_.schedule_am_crash(ci, sim_->now() + offset);
+    }
     active_.emplace_back(j, ci);
   }
 }
@@ -185,13 +205,16 @@ void ClusterService::poll_completions() {
   bool freed = false;
   for (std::size_t i = 0; i < active_.size();) {
     const auto [j, ci] = active_[i];
-    if (!coord_.driver(ci).done()) {
+    // A job in AM-restart limbo keeps its admission slot: its successor is
+    // coming, and releasing the slot would over-admit past the cap.
+    if (!coord_.job_finished(ci)) {
       ++i;
       continue;
     }
-    const mr::JobResult& result = coord_.driver(ci).result();
+    const mr::JobResult result = coord_.result(ci);
     records_[j].finish = sim_->now();
     records_[j].aborted = result.aborted;
+    records_[j].am_restarts = result.am_restarts;
     --tenant_running_[pending_[j].tenant];
     ++completed_;
     freed = true;
@@ -223,6 +246,10 @@ ServiceResult ClusterService::run() {
 
   for (const auto& [node, time] : config_.node_failures) {
     coord_.schedule_node_failure(node, time);
+  }
+  if (!config_.am_crashes.empty()) {
+    coord_.set_am_recovery({config_.am_max_attempts,
+                            config_.am_restart_delay_s});
   }
   coord_.set_preemption(config_.preemption);
   if (trace_ != nullptr) coord_.set_trace(trace_);
@@ -259,6 +286,7 @@ ServiceResult ClusterService::run() {
   for (const JobRecord& record : records_) {
     TenantStats& stats = out.tenants[record.tenant];
     out.makespan = std::max(out.makespan, record.finish);
+    out.am_restarts += record.am_restarts;
     if (record.aborted) {
       ++stats.jobs_aborted;
     } else {
@@ -291,6 +319,9 @@ std::string ServiceResult::json() const {
   w.field("total_jobs", static_cast<std::uint64_t>(total_jobs));
   w.field("makespan_s", makespan);
   w.field("preemption_kills", preemption_kills);
+  // Gated on non-zero so crash-free documents (and their pinned golden
+  // hashes) stay byte-identical to builds without AM recovery.
+  if (am_restarts > 0) w.field("am_restarts", am_restarts);
   w.field("fairness_index", fairness_index);
   w.key("tenants").begin_array();
   for (const TenantStats& stats : tenants) {
@@ -320,6 +351,9 @@ std::string ServiceResult::json() const {
     w.field("jct_s", record.jct());
     w.field("queue_delay_s", record.queue_delay());
     w.field("aborted", record.aborted);
+    if (record.am_restarts > 0) {
+      w.field("am_restarts", static_cast<std::uint64_t>(record.am_restarts));
+    }
     w.end_object();
   }
   w.end_array();

@@ -65,6 +65,16 @@ struct ServiceConfig {
   mr::SimParams params;
   /// Cluster-level failure injection, (node, time) pairs.
   std::vector<std::pair<NodeId, SimTime>> node_failures;
+  /// AM-crash injection: (global job id, seconds after admission) pairs.
+  /// The listed jobs journal their committed work; when the crash fires
+  /// the AM dies, its containers are torn down, and after
+  /// `am_restart_delay_s` a successor attempt replays the journal and
+  /// finishes only the uncommitted remainder. The job keeps its admission
+  /// slot through the downtime, and downtime counts against its JCT/SLO.
+  std::vector<std::pair<std::size_t, SimDuration>> am_crashes;
+  /// A crash on this attempt aborts the job instead of restarting it.
+  std::uint32_t am_max_attempts = 2;
+  SimDuration am_restart_delay_s = 10.0;
   /// Cadence of the per-tenant slot-share sampler.
   SimDuration share_sample_period_s = 30.0;
 };
@@ -78,6 +88,8 @@ struct JobRecord {
   SimTime admitted = 0;
   SimTime finish = 0;
   bool aborted = false;
+  /// AM restarts survived (0 for the common never-crashed job).
+  std::uint32_t am_restarts = 0;
 
   double jct() const { return finish - arrival; }
   double queue_delay() const { return admitted - arrival; }
@@ -99,6 +111,9 @@ struct ServiceResult {
   std::size_t total_jobs = 0;
   SimTime makespan = 0;  ///< Finish time of the last job.
   std::uint64_t preemption_kills = 0;
+  /// AM restarts survived across all jobs (emitted in the JSON only when
+  /// non-zero, keeping crash-free documents byte-identical).
+  std::uint64_t am_restarts = 0;
   /// Jain's index over tenant mean slot shares (1 = perfectly fair).
   double fairness_index = 1.0;
   std::vector<TenantStats> tenants;

@@ -1,6 +1,7 @@
 #include "workloads/experiment.hpp"
 
 #include "common/error.hpp"
+#include "recover/runner.hpp"
 #include "simcore/simulator.hpp"
 
 namespace flexmr::workloads {
@@ -67,6 +68,22 @@ mr::JobResult run_job(cluster::Cluster& cluster, const Benchmark& bench,
       make_layout(bench, scale, cluster.num_nodes(), config.block_size,
                   config.replication, config.params.seed);
   auto spec = to_job_spec(bench, scale);
+  if (config.faults.has_am_faults()) {
+    // AM-killable runs go through the restart loop: a crashed driver is
+    // permanently done() without finishing, and only the runner can play
+    // YARN's re-launch role. Crash-free plans stay on the plain path below
+    // (byte-identical to builds without recovery code).
+    faults::FaultPlan plan = config.faults;
+    for (const auto& [node, time] : config.node_failures) {
+      plan.crashes.push_back(
+          faults::NodeCrash{node, time, std::nullopt, /*silent=*/false});
+    }
+    recover::RecoveryRunner runner(sim, cluster, layout, spec, config.params,
+                                   scheduler, std::move(plan), config.trace);
+    auto result = runner.run();
+    result.scheduler = scheduler.name();
+    return result;
+  }
   mr::JobDriver driver(sim, cluster, layout, spec, config.params, scheduler);
   if (config.trace != nullptr) driver.set_trace(config.trace);
   if (!config.faults.empty()) driver.install_faults(config.faults);

@@ -650,6 +650,124 @@ TEST(FaultValidation, BadPlanSurfacesAtRunStart) {
                ConfigError);
 }
 
+TEST(FaultValidation, RejectsBadAmRecoveryKnobs) {
+  {
+    FaultPlan plan;
+    plan.am_max_attempts = 0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.am_crashes = {-1.0};
+    EXPECT_THROW(plan.validate(6), ConfigError);  // negative crash time
+  }
+  {
+    FaultPlan plan;
+    plan.am_crash_mttf_s = -60.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.am_restart_delay_s = -0.5;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.am_snapshot_interval_s = -30.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;  // a well-formed AM plan passes
+    plan.am_crashes = {40.0, 120.0};
+    plan.am_crash_mttf_s = 600.0;
+    plan.am_max_attempts = 3;
+    plan.am_restart_delay_s = 5.0;
+    plan.am_snapshot_interval_s = 0.0;  // 0 = never snapshot, legal
+    EXPECT_NO_THROW(plan.validate(6));
+  }
+}
+
+TEST(FaultValidation, HorizonRejectsCrashesBeyondIt) {
+  {
+    FaultPlan plan;
+    plan.am_crashes = {500.0};
+    EXPECT_NO_THROW(plan.validate(6));  // no horizon: any future time
+    EXPECT_THROW(plan.validate(6, 500.0), ConfigError);  // at the horizon
+    EXPECT_THROW(plan.validate(6, 100.0), ConfigError);  // beyond it
+    EXPECT_NO_THROW(plan.validate(6, 501.0));
+  }
+  {
+    FaultPlan plan;
+    plan.crashes = {NodeCrash{1, 500.0, std::nullopt, true}};
+    EXPECT_NO_THROW(plan.validate(6));
+    EXPECT_THROW(plan.validate(6, 400.0), ConfigError);
+  }
+}
+
+TEST(FaultValidation, RejectsBadRecoveryBudgetKnobs) {
+  {
+    FaultPlan plan;
+    plan.node_liveness_timeout_s = -1.0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.blacklist_threshold = 0;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.blacklist_ignore_fraction = 1.5;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+  {
+    FaultPlan plan;
+    plan.container_launch_failure_prob = -0.2;
+    EXPECT_THROW(plan.validate(6), ConfigError);
+  }
+}
+
+TEST(FaultValidation, AmFaultsMakeThePlanNonEmpty) {
+  FaultPlan fixed;
+  fixed.am_crashes = {40.0};
+  EXPECT_TRUE(fixed.has_am_faults());
+  EXPECT_FALSE(fixed.empty());
+
+  FaultPlan mttf;
+  mttf.am_crash_mttf_s = 300.0;
+  EXPECT_TRUE(mttf.has_am_faults());
+  EXPECT_FALSE(mttf.empty());
+
+  // Recovery tuning knobs alone arm nothing: the plan stays empty and the
+  // run stays on the fault-free fast path.
+  FaultPlan tuned;
+  tuned.am_max_attempts = 5;
+  tuned.am_restart_delay_s = 30.0;
+  tuned.am_snapshot_interval_s = 10.0;
+  EXPECT_FALSE(tuned.has_am_faults());
+  EXPECT_TRUE(tuned.empty());
+}
+
+TEST(FaultValidation, AmFaultsWithoutJournalRejectedAtStart) {
+  // Driving an AM-killable plan through a bare JobDriver (no journal, no
+  // restart loop) is a configuration error surfaced at start().
+  auto cluster = cluster::presets::homogeneous6();
+  Simulator sim;
+  const auto layout = workloads::make_layout(
+      workloads::benchmark("WC"), InputScale::kSmall, cluster.num_nodes(),
+      64.0, 3, 1);
+  auto spec = workloads::to_job_spec(workloads::benchmark("WC"),
+                                     InputScale::kSmall);
+  const auto scheduler =
+      workloads::make_scheduler(SchedulerKind::kHadoopNoSpec);
+  mr::JobDriver driver(sim, cluster, layout, spec, mr::SimParams{},
+                       *scheduler);
+  faults::FaultPlan plan;
+  plan.am_crashes = {40.0};
+  driver.install_faults(plan);
+  EXPECT_THROW(driver.start(), ConfigError);
+}
+
 TEST(Faults, MarkAliveRestoresWithdrawnSlots) {
   auto cluster = cluster::presets::homogeneous6();
   yarn::ResourceManager rm(cluster);
