@@ -21,6 +21,7 @@
 #endif
 
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -51,8 +52,15 @@ struct SweepResult {
   OnlineStats efficiency;
   OnlineStats productivity;
   /// Real (host) seconds per simulation run — the perf trajectory the
-  /// BENCH_*.json series carry across PRs.
+  /// BENCH_*.json series carry across PRs. Sweep items run on a shared
+  /// pool, so a run timed while its siblings saturate the cores is slower
+  /// than the same run timed alone; read together with pool_occupancy
+  /// (speedup-style comparisons belong in serial-measured series).
   OnlineStats run_wall_clock;
+  /// Pool tasks in flight (including this one) when the item was timed —
+  /// 1 means the wall clock is contention-free, pool-size means fully
+  /// contended.
+  OnlineStats pool_occupancy;
 };
 
 /// Peak resident set size of this process so far, in KiB (ru_maxrss is
@@ -69,6 +77,19 @@ inline std::uint64_t peak_rss_kib() {
 #else
   return 0;
 #endif
+}
+
+/// The sweep worker pool, shared across sweeps within one bench binary.
+/// Deliberately not a bare `static ThreadPool` at the use site: the pool
+/// is destroyed at static-destruction time with workers still joinable,
+/// and its teardown may log through the Logger singleton. Touching
+/// Logger::instance() before first constructing the pool pins the
+/// construction order (Logger first), so reverse static destruction tears
+/// the pool down — joining its workers — while the Logger is still alive.
+inline ThreadPool& sweep_pool() {
+  Logger::instance();
+  static ThreadPool pool;
+  return pool;
 }
 
 /// Runs |points| × |seeds| simulations in parallel over a thread pool.
@@ -100,15 +121,20 @@ inline std::vector<SweepResult> sweep(
     double efficiency = 0;
     double productivity = 0;
     double run_wall_clock = 0;
+    double pool_occupancy = 1;
   };
   std::vector<ItemResult> measured(items.size());
 
-  static ThreadPool pool;  // shared across sweeps within one bench binary
+  ThreadPool& pool = sweep_pool();
   pool.parallel_for_each(items.begin(), items.end(), [&](const WorkItem& w) {
     auto cluster = make_cluster();
     workloads::RunConfig config;
     config.block_size = points[w.point].block_size;
     config.params.seed = w.seed;
+    // Occupancy at timing start: how many sibling runs compete for cores
+    // while this one's wall clock ticks. Recorded alongside the time so
+    // cross-PR consumers can tell contention from real slowdowns.
+    const auto occupancy = static_cast<double>(pool.active());
     const auto run_start = std::chrono::steady_clock::now();
     const auto result = workloads::run_job(cluster, bench, scale,
                                            points[w.point].kind, config);
@@ -117,8 +143,9 @@ inline std::vector<SweepResult> sweep(
                                       run_start)
             .count();
     const std::size_t index = static_cast<std::size_t>(&w - items.data());
-    measured[index] = ItemResult{result.jct(), result.efficiency(),
-                                 result.mean_map_productivity(), run_seconds};
+    measured[index] =
+        ItemResult{result.jct(), result.efficiency(),
+                   result.mean_map_productivity(), run_seconds, occupancy};
   });
   for (std::size_t i = 0; i < items.size(); ++i) {
     SweepResult& out = results[items[i].point];
@@ -126,6 +153,7 @@ inline std::vector<SweepResult> sweep(
     out.efficiency.add(measured[i].efficiency);
     out.productivity.add(measured[i].productivity);
     out.run_wall_clock.add(measured[i].run_wall_clock);
+    out.pool_occupancy.add(measured[i].pool_occupancy);
   }
   return results;
 }
@@ -199,6 +227,7 @@ class BenchArtifact {
       add_metric(series, "productivity", result.productivity);
       if (result.run_wall_clock.count() > 0) {
         add_metric(series, "run_wall_clock_s", result.run_wall_clock);
+        add_metric(series, "pool_occupancy", result.pool_occupancy);
       }
     }
   }

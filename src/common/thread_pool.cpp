@@ -33,7 +33,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    active_.fetch_add(1, std::memory_order_relaxed);
+    task();  // packaged_task: exceptions land in the future, not here
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

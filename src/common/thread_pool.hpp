@@ -6,6 +6,7 @@
 // helper with exception propagation (first exception rethrown).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -30,6 +31,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Tasks currently executing on workers (includes the reader's own task
+  /// when called from inside one). An occupancy snapshot: benches record
+  /// it per work item so wall-clock-per-run numbers carry how contended
+  /// the pool was when the run was timed.
+  std::size_t active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueues a callable; returns a future for its result.
   template <typename F>
@@ -81,6 +90,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::size_t> active_{0};
   bool stopping_ = false;
 };
 

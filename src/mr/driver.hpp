@@ -222,6 +222,7 @@ class JobDriver final : public DriverContext {
   std::uint32_t total_free_slots() const override { return rm_.total_free(); }
   std::uint32_t total_slots() const override { return rm_.total_slots(); }
   std::vector<RunningMapInfo> running_maps() const override;
+  LaneSet* lane_set() const override { return sim_->lane_set(); }
   std::optional<MiBps> observed_ips(NodeId node) const override;
   double map_phase_progress() const override;
   std::size_t total_bus() const override { return layout_->bus.size(); }

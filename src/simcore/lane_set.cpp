@@ -1,0 +1,106 @@
+#include "simcore/lane_set.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexmr {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+LaneSet::LaneSet(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+LaneSet::~LaneSet() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t LaneSet::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+bool LaneSet::on_worker() { return t_on_worker; }
+
+void LaneSet::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty() || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    FLEXMR_ASSERT_MSG(fn_ == nullptr, "LaneSet::run is not reentrant");
+    fn_ = &fn;
+    n_ = n;
+    next_ = 0;
+    completed_ = 0;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  work();  // the caller is a worker too
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this]() { return completed_ == n_; });
+  fn_ = nullptr;  // the releasing store workers observe via mutex_
+}
+
+void LaneSet::work() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard lock(mutex_);
+      if (fn_ == nullptr || next_ >= n_) return;
+      index = next_++;
+      fn = fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard lock(mutex_);
+      ++completed_;
+      if (completed_ == n_) done_cv_.notify_all();
+    }
+  }
+}
+
+void LaneSet::worker_loop() {
+  t_on_worker = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      wake_cv_.wait(lock, [&]() { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+    }
+    work();
+  }
+}
+
+void LaneSet::run_chunked(
+    std::size_t n, std::size_t min_chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  const std::size_t max_chunks = workers_.size() + 1;
+  const std::size_t chunks =
+      std::clamp<std::size_t>((n + min_chunk - 1) / min_chunk, 1, max_chunks);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  run(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, n);
+    if (begin < end) fn(chunk, begin, end);
+  });
+}
+
+}  // namespace flexmr

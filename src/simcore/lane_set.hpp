@@ -1,0 +1,89 @@
+// LaneSet: the worker substrate of the sharded simulator (DESIGN.md §13).
+//
+// A LaneSet owns a fixed set of parked worker threads and provides one
+// primitive — run(n, fn): execute fn(0..n-1) across the workers plus the
+// calling thread, blocking until every index completes. The sharded
+// engine uses it to drain per-lane event heaps concurrently inside a
+// synchronization window, and the driver's read-only decision kernels
+// (running_maps(), LATE candidate scans, SkewTune straggler argmax) use
+// run_chunked() to fan a scan over contiguous chunks.
+//
+// Determinism contract: run() parallelizes *execution*, never *results*.
+// Callers must write only to per-index (or per-chunk) state, combine in
+// index order on the calling thread, and keep every floating-point
+// computation per-element — under those rules the output is byte-identical
+// to a serial loop regardless of worker count or interleaving (see
+// DESIGN.md §13 "what may run off the control lane").
+//
+// Shared-state guard: on_worker() is true on a LaneSet worker thread;
+// mutation sites that must stay on the control lane (ResourceManager
+// offers, BlockLocationIndex take_units) assert !on_worker().
+//
+// With zero workers (the default on a single-core host) every run() is an
+// inline loop on the caller — same results, no threads, no sync overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexmr {
+
+class LaneSet {
+ public:
+  /// Spawns exactly `threads` workers. 0 workers = inline mode: run()
+  /// degenerates to a serial loop on the calling thread.
+  explicit LaneSet(std::size_t threads = 0);
+  ~LaneSet();
+
+  LaneSet(const LaneSet&) = delete;
+  LaneSet& operator=(const LaneSet&) = delete;
+
+  /// Workers available beyond the calling thread on this host: one per
+  /// hardware thread minus the caller (0 on a single-core machine).
+  static std::size_t default_threads();
+
+  /// True when called from a LaneSet worker thread — the guard mutation
+  /// sites use to assert they run on the control lane only.
+  static bool on_worker();
+
+  std::size_t workers() const { return workers_.size(); }
+
+  /// Executes fn(i) for every i in [0, n), distributing indices across the
+  /// workers and the calling thread; returns when all n completed. fn must
+  /// not throw and must not touch shared mutable state (write per-index
+  /// slots only). With no workers, or n <= 1, runs inline.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Splits [0, n) into contiguous chunks of at least `min_chunk` items
+  /// (at most workers() + 1 chunks) and executes fn(chunk, begin, end) for
+  /// each. Chunk boundaries may depend on worker count — callers must only
+  /// use combining rules whose result is boundary-independent (per-element
+  /// maps concatenated in chunk order, first-wins argmax folded in chunk
+  /// order).
+  void run_chunked(
+      std::size_t n, std::size_t min_chunk,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and executes indices of the current job until exhausted.
+  void work();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   ///< Workers wait for a new epoch.
+  std::condition_variable done_cv_;   ///< Caller waits for completion.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t next_ = 0;       ///< Next unclaimed index (under mutex_).
+  std::size_t completed_ = 0;  ///< Indices finished (under mutex_).
+  std::uint64_t epoch_ = 0;    ///< Bumped per run() to wake the workers.
+  bool stopping_ = false;
+};
+
+}  // namespace flexmr

@@ -64,6 +64,13 @@ mr::JobResult run_job(cluster::Cluster& cluster, const Benchmark& bench,
                       const RunConfig& config) {
   cluster.reset();
   Simulator sim;
+  if (config.lanes > 0) {
+    // The heartbeat interval is the natural conservative lookahead: it is
+    // the cadence at which node-local progress feeds back into global
+    // scheduling decisions (DESIGN.md §13).
+    sim.configure_lanes(config.lanes, config.params.heartbeat_period_s,
+                        config.lane_threads);
+  }
   const auto layout =
       make_layout(bench, scale, cluster.num_nodes(), config.block_size,
                   config.replication, config.params.seed);

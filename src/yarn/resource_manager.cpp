@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simcore/lane_set.hpp"
+
 namespace flexmr::yarn {
 
 ResourceManager::ResourceManager(const cluster::Cluster& cluster)
@@ -55,6 +57,11 @@ void ResourceManager::mark_alive(NodeId node) {
 }
 
 void ResourceManager::offer_node(NodeId node) {
+  // Offers mutate global slot accounting and cascade into scheduler
+  // decisions: control-lane-only on the sharded engine. A lane worker
+  // reaching here means a decision kernel leaked shared-state mutation.
+  FLEXMR_ASSERT_MSG(!LaneSet::on_worker(),
+                    "RM offer from a lane worker (control-lane only)");
   if (!handler_ || offering_ || dead_[node]) return;
   offering_ = true;
   while (free_[node] > 0 && handler_(node)) {
@@ -65,6 +72,8 @@ void ResourceManager::offer_node(NodeId node) {
 }
 
 void ResourceManager::offer_all() {
+  FLEXMR_ASSERT_MSG(!LaneSet::on_worker(),
+                    "RM offer from a lane worker (control-lane only)");
   if (!handler_ || offering_) return;
   offering_ = true;
   // Walk alive nodes in ascending id order (identical to the historical

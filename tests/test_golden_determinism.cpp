@@ -3,7 +3,8 @@
 // The simulator's core property is bit-reproducibility: the event-queue
 // slot table, heap compaction, SpeedMonitor extrema caching and the
 // heartbeat/offer-loop rewrites must not change a single byte of the
-// JobResult JSON for a fixed seed. The golden hashes below were captured
+// JobResult JSON for a fixed seed. The golden hashes (tests/
+// golden_cases.hpp, shared with the sharded-engine suite) were captured
 // from the pre-optimization implementation (lazy-cancel unordered_map
 // queue, scan-based SpeedMonitor, O(all-tasks) heartbeat scans) on the
 // paper's 20-node virtual cluster — bursty interference there keeps
@@ -12,9 +13,10 @@
 //
 // To regenerate after an *intentional* output change, run with
 // FLEXMR_REGEN_GOLDEN=1 in the environment: the test prints the current
-// hashes and fails, and the constants below must be updated by hand.
-// Goldens assume IEEE-754 doubles and one libm (FP results feed the JSON);
-// they are tied to the CI/dev toolchain, not to a particular machine.
+// hashes and fails, and the constants in golden_cases.hpp must be updated
+// by hand. Goldens assume IEEE-754 doubles and one libm (FP results feed
+// the JSON); they are tied to the CI/dev toolchain, not to a particular
+// machine.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -23,81 +25,18 @@
 #include <iterator>
 #include <string>
 
-#include "cluster/presets.hpp"
-#include "mr/result_json.hpp"
 #include "obs/session.hpp"
-#include "workloads/experiment.hpp"
+#include "tests/golden_cases.hpp"
 
 namespace flexmr {
 namespace {
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const unsigned char c : s) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-struct GoldenCase {
-  workloads::SchedulerKind kind;
-  MiB block_size;
-  const char* label;
-  std::uint64_t expected;
-};
-
-// All four comparison systems of the paper (Fig. 5/6 configuration).
-const GoldenCase kCases[] = {
-    {workloads::SchedulerKind::kHadoop, kLargeBlockMiB, "Hadoop-128m",
-     0x0a1990820730e5d7ull},
-    {workloads::SchedulerKind::kHadoop, kDefaultBlockMiB, "Hadoop-64m",
-     0x9f9a7d1d34b8a063ull},
-    {workloads::SchedulerKind::kSkewTune, kDefaultBlockMiB, "SkewTune-64m",
-     0x8975dc6c0ed84393ull},
-    {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB, "FlexMap",
-     0x9884f7fe650b6a4aull},
-};
-
-// Same four systems under a canonical non-empty fault plan: one silent
-// crash with rejoin plus transient attempt and shuffle-fetch failures.
-// Pins the whole fault path — injector RNG stream, replica bookkeeping,
-// re-replication pipeline, fetch retries — to a byte-stable timeline.
-const GoldenCase kFaultCases[] = {
-    {workloads::SchedulerKind::kHadoop, kLargeBlockMiB,
-     "Faults-Hadoop-128m", 0x952a3362b487103full},
-    {workloads::SchedulerKind::kHadoop, kDefaultBlockMiB,
-     "Faults-Hadoop-64m", 0x7cf851d06f8ce2afull},
-    // Regenerated when stock-derived schedulers learned to re-pend
-    // partially-consumed blocks (relaunching only the free remainder):
-    // SkewTune's post-crash timeline changed, with exactly-once intact.
-    {workloads::SchedulerKind::kSkewTune, kDefaultBlockMiB,
-     "Faults-SkewTune-64m", 0xc89a5686d50bcfbfull},
-    {workloads::SchedulerKind::kFlexMap, kDefaultBlockMiB,
-     "Faults-FlexMap", 0x4a019693852e41faull},
-};
-
-faults::FaultPlan golden_fault_plan() {
-  faults::FaultPlan plan;
-  plan.crashes = {faults::NodeCrash{3, 25.0, 90.0, true}};
-  plan.attempt_failure_prob = 0.05;
-  plan.fetch_failure_prob = 0.05;
-  return plan;
-}
-
-std::string run_case(const GoldenCase& c, const faults::FaultPlan& plan,
-                     obs::TraceSession* trace = nullptr) {
-  auto cluster = cluster::presets::virtual20();
-  workloads::RunConfig config;
-  config.block_size = c.block_size;
-  config.params.seed = 1234;
-  config.faults = plan;
-  config.trace = trace;
-  const auto result =
-      workloads::run_job(cluster, workloads::benchmark("WC"),
-                         workloads::InputScale::kSmall, c.kind, config);
-  return mr::job_result_json(result, cluster);
-}
+using golden::fnv1a;
+using golden::GoldenCase;
+using golden::golden_fault_plan;
+using golden::kCases;
+using golden::kFaultCases;
+using golden::run_case;
 
 void check_goldens(const GoldenCase* cases, std::size_t n,
                    const faults::FaultPlan& plan) {

@@ -1,0 +1,267 @@
+// Byte-identity contract of the sharded engine (DESIGN.md §13): the
+// per-node-lane, conservative-window simulator must reproduce every golden
+// hash of the classic single-heap engine — all four schedulers, with and
+// without the canonical fault plan, with and without tracing, through the
+// AM-crash recovery path, at every lane count — because lanes change the
+// execution strategy, never the (time, seq) fire order the results hang
+// off. The "Parallel"-named tests force real worker threads so the TSan CI
+// job exercises the concurrent drain and the LaneSet handshake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "obs/session.hpp"
+#include "simcore/lane_set.hpp"
+#include "simcore/simulator.hpp"
+#include "tests/golden_cases.hpp"
+
+namespace flexmr {
+namespace {
+
+using golden::fnv1a;
+using golden::golden_fault_plan;
+using golden::kCases;
+using golden::kFaultCases;
+using golden::run_case;
+
+constexpr std::uint32_t kLaneCounts[] = {1, 2, 4, 8};
+
+TEST(ShardedGolden, CleanCasesByteIdenticalAtEveryLaneCount) {
+  for (const std::uint32_t lanes : kLaneCounts) {
+    for (const auto& c : kCases) {
+      EXPECT_EQ(fnv1a(run_case(c, faults::FaultPlan{}, nullptr, lanes)),
+                c.expected)
+          << c.label << " at " << lanes << " lanes";
+    }
+  }
+}
+
+TEST(ShardedGolden, FaultCasesByteIdenticalAtEveryLaneCount) {
+  const auto plan = golden_fault_plan();
+  for (const std::uint32_t lanes : kLaneCounts) {
+    for (const auto& c : kFaultCases) {
+      EXPECT_EQ(fnv1a(run_case(c, plan, nullptr, lanes)), c.expected)
+          << c.label << " at " << lanes << " lanes";
+    }
+  }
+}
+
+// Tracing on the sharded engine perturbs nothing, same as on the classic
+// engine (the tracer draws no randomness and schedules no events).
+TEST(ShardedGolden, TracingOnShardedEngineLeavesHashesUnchanged) {
+  for (const auto& c : kCases) {
+    obs::TraceSession trace;
+    EXPECT_EQ(fnv1a(run_case(c, faults::FaultPlan{}, &trace, 4)), c.expected)
+        << c.label << " sharded with tracing";
+    EXPECT_FALSE(trace.tracer().empty()) << c.label;
+  }
+  const auto plan = golden_fault_plan();
+  for (const auto& c : kFaultCases) {
+    obs::TraceSession trace;
+    EXPECT_EQ(fnv1a(run_case(c, plan, &trace, 4)), c.expected)
+        << c.label << " sharded with tracing";
+  }
+}
+
+// The ninth pinned golden: a mid-map AM crash flows through the
+// RecoveryRunner's restart loop on the same Simulator&, so journaled
+// replay and attempt hand-off must also be engine-independent.
+TEST(ShardedGolden, MidMapAmCrashGoldenByteIdenticalAcrossLanes) {
+  for (const std::uint32_t lanes : kLaneCounts) {
+    auto cluster = cluster::presets::virtual20();
+    workloads::RunConfig config;
+    config.params.seed = 1234;
+    config.faults.am_crashes = {40.0};
+    config.lanes = lanes;
+    const auto result = workloads::run_job(
+        cluster, workloads::benchmark("WC"), workloads::InputScale::kSmall,
+        workloads::SchedulerKind::kHadoop, config);
+    ASSERT_FALSE(result.aborted);
+    ASSERT_EQ(result.am_restarts, 1u);
+    EXPECT_EQ(fnv1a(mr::job_result_json(result, cluster)),
+              golden::kMidMapAmCrashGolden)
+        << lanes << " lanes";
+  }
+}
+
+// Full-JSON (not just hash) cross-check between the engines, including the
+// simulator counters embedded in the result: queue_peak and the compaction
+// count must evolve identically (the sharded engine's entry accounting is
+// a byte-exact mirror of the classic queue size).
+TEST(ShardedGolden, FullJsonMatchesClassicEngine) {
+  const auto plan = golden_fault_plan();
+  for (const auto& c : {kCases[2], kFaultCases[3]}) {
+    const std::string classic = run_case(c, plan);
+    for (const std::uint32_t lanes : kLaneCounts) {
+      EXPECT_EQ(run_case(c, plan, nullptr, lanes), classic)
+          << c.label << " at " << lanes << " lanes";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded variants (TSan coverage: named *Parallel* for the CI filter)
+// ---------------------------------------------------------------------------
+
+// Real worker threads drain the lanes concurrently; the result must still
+// match the golden byte for byte, and TSan must see a clean handshake.
+TEST(ShardedGoldenParallel, ThreadedDrainReproducesGoldens) {
+  const auto plan = golden_fault_plan();
+  for (const std::uint32_t lanes : {2u, 8u}) {
+    for (const auto& c : kCases) {
+      EXPECT_EQ(fnv1a(run_case(c, faults::FaultPlan{}, nullptr, lanes,
+                               /*lane_threads=*/2)),
+                c.expected)
+          << c.label << " at " << lanes << " lanes, 2 threads";
+    }
+    for (const auto& c : kFaultCases) {
+      EXPECT_EQ(fnv1a(run_case(c, plan, nullptr, lanes, /*lane_threads=*/2)),
+                c.expected)
+          << c.label << " at " << lanes << " lanes, 2 threads";
+    }
+  }
+}
+
+TEST(ShardedGoldenParallel, LaneSetRunsEveryIndexExactlyOnce) {
+  LaneSet set(3);
+  EXPECT_EQ(set.workers(), 3u);
+  EXPECT_FALSE(LaneSet::on_worker());
+  std::vector<std::atomic<int>> hits(10000);
+  set.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+  // Repeated fan-outs reuse the parked workers.
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    set.run(64, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 64u);
+}
+
+TEST(ShardedGoldenParallel, RunChunkedCoversRangeInOrderDisjointly) {
+  LaneSet set(2);
+  std::vector<char> seen(100001, 0);
+  std::atomic<std::size_t> chunks{0};
+  set.run_chunked(seen.size(), 2048,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    chunks.fetch_add(1);
+                    for (std::size_t i = begin; i < end; ++i) seen[i] = 1;
+                  });
+  EXPECT_GE(chunks.load(), 2u);
+  EXPECT_LE(chunks.load(), 3u);  // workers() + 1 cap
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 0), 0);
+}
+
+TEST(ShardedGoldenParallel, InlineModeNeedsNoThreads) {
+  LaneSet set(0);
+  EXPECT_EQ(set.workers(), 0u);
+  std::size_t sum = 0;  // safe: inline mode runs on this thread
+  set.run(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+// ---------------------------------------------------------------------------
+// Window-barrier boundary contract (mirror of Simulator.run_until tests)
+// ---------------------------------------------------------------------------
+
+// Events scheduled exactly at t — including one scheduled *during* the
+// call, from another lane — fire in seq order and the clock lands on
+// exactly t, across the sharded engine's window barrier.
+TEST(ShardedGolden, RunUntilBoundaryContractAcrossWindowBarrier) {
+  ShardedSimulator sim(4, /*lookahead=*/5.0, /*threads=*/0);
+  std::vector<int> fired;
+  sim.schedule_on(1, 10.0, [&]() { fired.push_back(1); });
+  sim.schedule_on(2, 10.0, [&]() {
+    fired.push_back(2);
+    // Scheduled during the run, at exactly the boundary, on a third lane:
+    // must still fire inside this run_until call, after every earlier seq.
+    sim.schedule_on(3, 10.0, [&]() { fired.push_back(4); });
+  });
+  sim.schedule_on(0, 10.0, [&]() { fired.push_back(3); });
+  sim.schedule_on(1, 10.0 + 1e-9, [&]() { fired.push_back(99); });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 10.0);
+  sim.run(100);
+  EXPECT_EQ(fired.back(), 99);
+}
+
+// run_until with no events at t still lands the clock exactly on t, and a
+// window left half-consumed by run_until keeps firing correctly afterward.
+TEST(ShardedGolden, RunUntilMidWindowThenStepResumes) {
+  ShardedSimulator sim(2, /*lookahead=*/10.0);
+  std::vector<double> times;
+  for (int i = 0; i < 8; ++i) {
+    const double t = 1.0 + i;
+    sim.schedule_on(i % 2, t, [&times, t]() { times.push_back(t); });
+  }
+  sim.run_until(3.5);  // windows span [1, 11): batch holds all 8 events
+  EXPECT_EQ(sim.now(), 3.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+  while (sim.step()) {
+  }
+  EXPECT_EQ(times.size(), 8u);
+  EXPECT_EQ(times.back(), 8.0);
+}
+
+// Cancellation across the window barrier: cancelling an event that was
+// already drained into the open window's batch must skip it (lazy
+// generation check), with counters matching the classic engine.
+TEST(ShardedGolden, CancelInsideOpenWindowSkipsDrainedEntry) {
+  ShardedSimulator sharded(2, 5.0);
+  Simulator classic;
+  for (Simulator* sim : {static_cast<Simulator*>(&sharded), &classic}) {
+    std::vector<int> fired;
+    EventId victim = kInvalidEvent;
+    sim->schedule_at(1.0, [&, sim]() {
+      fired.push_back(1);
+      sim->cancel(victim);  // already drained into this window's batch
+    });
+    victim = sim->schedule_at(2.0, [&]() { fired.push_back(2); });
+    sim->schedule_at(3.0, [&]() { fired.push_back(3); });
+    sim->run(100);
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  }
+  EXPECT_EQ(sharded.counters().fired, classic.counters().fired);
+  EXPECT_EQ(sharded.counters().cancelled, classic.counters().cancelled);
+  EXPECT_EQ(sharded.counters().queue_peak, classic.counters().queue_peak);
+}
+
+// Lane affinity is a placement hint only: the same workload scheduled with
+// every event on one lane, or spread across lanes, fires identically.
+TEST(ShardedGolden, LaneAssignmentNeverChangesFireOrder) {
+  std::vector<std::pair<double, int>> order_a;
+  std::vector<std::pair<double, int>> order_b;
+  for (int spread = 0; spread < 2; ++spread) {
+    auto& order = spread ? order_b : order_a;
+    ShardedSimulator sim(4, 2.5);
+    for (int i = 0; i < 40; ++i) {
+      const double t = (i * 7 % 13) * 1.5;
+      const std::uint32_t lane = spread ? sim.lane_for_node(i) : 0;
+      sim.schedule_on(lane, t, [&order, t, i]() { order.push_back({t, i}); });
+    }
+    sim.run(1000);
+  }
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(ShardedGolden, LaneDrainedCountsCoverAllFiredEvents) {
+  ShardedSimulator sim(3, 1.0);
+  for (int i = 0; i < 30; ++i) {
+    sim.schedule_on(sim.lane_for_node(i), 0.1 * i, []() {});
+  }
+  sim.run(100);
+  const auto drained = sim.lane_drained();
+  ASSERT_EQ(drained.size(), 4u);  // 3 node lanes + control
+  EXPECT_EQ(std::accumulate(drained.begin(), drained.end(), 0ull), 30ull);
+  EXPECT_EQ(sim.counters().fired, 30ull);
+}
+
+}  // namespace
+}  // namespace flexmr

@@ -2,6 +2,8 @@
 // determinism, and the run/run_until protocol.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "simcore/simulator.hpp"
@@ -227,6 +229,85 @@ TEST(Simulator, CountersTrackScheduleFireCancelAndPeak) {
   EXPECT_EQ(counters.fired, 2u);
   EXPECT_EQ(counters.cancelled, 1u);
   EXPECT_EQ(counters.queue_peak, 3u);
+}
+
+// Pins the full run_until(t) boundary contract (the sharded mirror lives
+// in test_sharded_golden.cpp): every event with time exactly t fires —
+// including one scheduled *at t, during the call* by another boundary
+// event — in schedule (seq) order, events past t stay queued, and the
+// clock lands exactly on t even though the last fired event was at t.
+TEST(Simulator, RunUntilBoundaryFiresAtTInSeqOrderIncludingNewlyScheduled) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(10.0, [&]() { fired.push_back(1); });
+  sim.schedule_at(10.0, [&]() {
+    fired.push_back(2);
+    sim.schedule_at(10.0, [&]() { fired.push_back(4); });
+  });
+  sim.schedule_at(10.0, [&]() { fired.push_back(3); });
+  sim.schedule_at(10.0 + 1e-9, [&]() { fired.push_back(99); });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 10.0);  // exactly t, not the last event time
+  sim.run();
+  EXPECT_EQ(fired.back(), 99);
+}
+
+// run_until past an empty queue, or with only cancelled residue in front,
+// still advances the clock to exactly t (the classic engine pops dead
+// entries even beyond t; the sharded engine mirrors this).
+TEST(Simulator, RunUntilAdvancesClockThroughCancelledResidue) {
+  Simulator sim;
+  const EventId dead = sim.schedule_at(5.0, []() {});
+  sim.cancel(dead);
+  sim.run_until(3.0);
+  EXPECT_EQ(sim.now(), 3.0);
+  sim.run_until(7.0);
+  EXPECT_EQ(sim.now(), 7.0);
+  EXPECT_EQ(sim.live_events(), 0u);
+}
+
+// Over-aligned captures must not take the inline path: kInlineSize would
+// fit a 64-byte capture's *size* check on some configurations, but the
+// inline buffer is only max_align_t-aligned, so fits_inline must reject
+// on alignment and fall back to the heap. Regression for the alignment
+// term in EventHandler::fits_inline.
+TEST(Simulator, EventHandlerHeapAllocatesOverAlignedCaptures) {
+  struct alignas(64) Wide {
+    double values[4];
+  };
+  static_assert(alignof(Wide) > alignof(std::max_align_t));
+  Simulator sim;
+  Wide wide{{1.0, 2.0, 3.0, 4.0}};
+  double seen = 0.0;
+  const Wide* observed = nullptr;
+  sim.schedule_at(1.0, [wide, &seen, &observed]() {
+    observed = &wide;  // address of the capture as the handler sees it
+    seen = wide.values[0] + wide.values[1] + wide.values[2] + wide.values[3];
+  });
+  sim.run();
+  EXPECT_EQ(seen, 10.0);
+  ASSERT_NE(observed, nullptr);
+  // The live capture really was aligned to its extended requirement.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(observed) % alignof(Wide), 0u);
+}
+
+// Small, naturally-aligned captures do take the inline path (no heap);
+// both storage strategies must survive the move used by event firing.
+TEST(Simulator, EventHandlerInlineAndHeapPathsBothFire) {
+  Simulator sim;
+  int small_hits = 0;
+  sim.schedule_at(1.0, [&small_hits]() { ++small_hits; });  // inline
+  struct Big {
+    char payload[128];  // > kInlineSize: heap path via size, not alignment
+  };
+  Big big{};
+  big.payload[0] = 42;
+  char got = 0;
+  sim.schedule_at(2.0, [big, &got]() { got = big.payload[0]; });
+  sim.run();
+  EXPECT_EQ(small_hits, 1);
+  EXPECT_EQ(got, 42);
 }
 
 }  // namespace
