@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -29,8 +30,20 @@ double FaultPlan::attempt_failure_prob_for(NodeId node) const {
   return attempt_failure_prob;
 }
 
+double FaultPlan::disk_degradation_factor(NodeId node, std::uint32_t disk,
+                                          SimTime t) const {
+  double factor = 1.0;
+  for (const auto& window : disk_degradations) {
+    if (window.node != node || window.disk != disk) continue;
+    if (t < window.from || t >= window.until) continue;
+    factor = std::min(factor, window.factor);
+  }
+  return factor;
+}
+
 bool FaultPlan::empty() const {
   if (!crashes.empty() || !degradations.empty()) return false;
+  if (!disk_faults.empty() || !disk_degradations.empty()) return false;
   if (has_am_faults()) return false;
   if (attempt_failure_prob > 0.0 || container_launch_failure_prob > 0.0 ||
       fetch_failure_prob > 0.0) {
@@ -191,6 +204,73 @@ void FaultPlan::validate(std::uint32_t num_nodes, SimTime horizon_s) const {
       fail(os.str());
     }
   }
+
+  if (disks_per_node == 0) fail("FaultPlan: disks_per_node must be >= 1");
+  std::map<std::pair<NodeId, std::uint32_t>, char> disk_seen;
+  for (const auto& fault : disk_faults) {
+    if (fault.node >= num_nodes) {
+      std::ostringstream os;
+      os << "FaultPlan: disk fault names node " << fault.node
+         << " but the cluster has " << num_nodes << " nodes";
+      fail(os.str());
+    }
+    if (fault.disk >= disks_per_node) {
+      std::ostringstream os;
+      os << "FaultPlan: disk fault names disk " << fault.disk << " of node "
+         << fault.node << " but nodes have " << disks_per_node << " disks";
+      fail(os.str());
+    }
+    if (fault.at < 0.0) {
+      std::ostringstream os;
+      os << "FaultPlan: disk fault on node " << fault.node
+         << " at negative time " << fault.at;
+      fail(os.str());
+    }
+    if (horizon_s > 0.0 && fault.at >= horizon_s) {
+      std::ostringstream os;
+      os << "FaultPlan: disk fault on node " << fault.node << " at "
+         << fault.at << " is beyond the run horizon " << horizon_s;
+      fail(os.str());
+    }
+    // A disk dies once: the model has no disk replacement, so a second
+    // fault of the same (node, disk) could only be a plan typo.
+    if (disk_seen[{fault.node, fault.disk}]) {
+      std::ostringstream os;
+      os << "FaultPlan: disk " << fault.disk << " of node " << fault.node
+         << " fails more than once";
+      fail(os.str());
+    }
+    disk_seen[{fault.node, fault.disk}] = 1;
+  }
+  for (const auto& window : disk_degradations) {
+    if (window.node >= num_nodes) {
+      std::ostringstream os;
+      os << "FaultPlan: disk degradation names node " << window.node
+         << " but the cluster has " << num_nodes << " nodes";
+      fail(os.str());
+    }
+    if (window.disk >= disks_per_node) {
+      std::ostringstream os;
+      os << "FaultPlan: disk degradation names disk " << window.disk
+         << " of node " << window.node << " but nodes have "
+         << disks_per_node << " disks";
+      fail(os.str());
+    }
+    if (window.from < 0.0 || window.until <= window.from) {
+      std::ostringstream os;
+      os << "FaultPlan: disk degradation window [" << window.from << ", "
+         << window.until << ") on node " << window.node << " disk "
+         << window.disk << " is degenerate";
+      fail(os.str());
+    }
+    if (!(window.factor > 0.0 && window.factor <= 1.0)) {
+      std::ostringstream os;
+      os << "FaultPlan: disk degradation factor " << window.factor
+         << " on node " << window.node << " disk " << window.disk
+         << " must be in (0, 1]";
+      fail(os.str());
+    }
+  }
 }
 
 const char* to_string(FaultEventType type) {
@@ -209,6 +289,9 @@ const char* to_string(FaultEventType type) {
     case FaultEventType::kMapOutputLost: return "map-output-lost";
     case FaultEventType::kAmCrash: return "am-crash";
     case FaultEventType::kAmRestart: return "am-restart";
+    case FaultEventType::kPartLost: return "part-lost";
+    case FaultEventType::kPartReconstructed: return "part-reconstructed";
+    case FaultEventType::kDiskFault: return "disk-fault";
   }
   return "?";
 }
@@ -267,6 +350,34 @@ void write_fault_plan(JsonWriter& writer, const FaultPlan& plan) {
       defaults.re_replication_bandwidth_mibps) {
     writer.field("re_replication_bandwidth_mibps",
                  plan.re_replication_bandwidth_mibps);
+  }
+  // Disk fault domains: same conditional contract.
+  if (plan.disks_per_node != defaults.disks_per_node) {
+    writer.field("disks_per_node", plan.disks_per_node);
+  }
+  if (!plan.disk_faults.empty()) {
+    writer.key("disk_faults").begin_array();
+    for (const auto& fault : plan.disk_faults) {
+      writer.begin_object();
+      writer.field("node", fault.node);
+      writer.field("disk", fault.disk);
+      writer.field("at", fault.at);
+      writer.end_object();
+    }
+    writer.end_array();
+  }
+  if (!plan.disk_degradations.empty()) {
+    writer.key("disk_degradations").begin_array();
+    for (const auto& window : plan.disk_degradations) {
+      writer.begin_object();
+      writer.field("node", window.node);
+      writer.field("disk", window.disk);
+      writer.field("from", window.from);
+      writer.field("until", window.until);
+      writer.field("factor", window.factor);
+      writer.end_object();
+    }
+    writer.end_array();
   }
   // AM-fault knobs: same conditional contract — absent unless the plan
   // actually arms AM recovery or changes a recovery default.

@@ -61,9 +61,43 @@ struct DegradedWindow {
   double factor = 0.5;
 };
 
+// ---- per-disk fault domains ----------------------------------------------
+//
+// A node stripes its replicas/parts across `disks_per_node` disks
+// (block b of node n lives on disk (b + n) % disks_per_node, a fixed
+// deterministic mapping). A DiskFault destroys exactly that disk's data on
+// a *live* node — unlike a silent crash, the data is really gone, so a
+// rejoin block report cannot restore it and only the repair pipeline can.
+// A DiskDegradedWindow models a slow disk (firmware retries, failing
+// media): reads of its data lose their locality discount during the
+// window.
+
+struct DiskFault {
+  NodeId node = 0;
+  std::uint32_t disk = 0;
+  SimTime at = 0;
+};
+
+struct DiskDegradedWindow {
+  NodeId node = 0;
+  std::uint32_t disk = 0;
+  SimTime from = 0;
+  SimTime until = 0;
+  /// Fraction of the disk's locality benefit that survives, in (0, 1]:
+  /// local bytes on the degraded disk are credited as `factor` local.
+  double factor = 0.5;
+};
+
 struct FaultPlan {
   std::vector<NodeCrash> crashes;
   std::vector<DegradedWindow> degradations;
+
+  /// Disks per node of the block→disk striping (fault-domain granularity).
+  std::uint32_t disks_per_node = 4;
+  /// Single-disk data loss on live nodes.
+  std::vector<DiskFault> disk_faults;
+  /// Slow-disk windows (degraded read bandwidth on one disk).
+  std::vector<DiskDegradedWindow> disk_degradations;
 
   /// Cluster-wide per-attempt transient failure probability.
   double attempt_failure_prob = 0.0;
@@ -139,6 +173,11 @@ struct FaultPlan {
   /// Effective transient-attempt failure probability for `node`.
   double attempt_failure_prob_for(NodeId node) const;
 
+  /// Smallest surviving-locality factor of any disk-degradation window
+  /// active on (node, disk) at time `t`; 1.0 when none is.
+  double disk_degradation_factor(NodeId node, std::uint32_t disk,
+                                 SimTime t) const;
+
   /// True when the plan injects nothing (the fault machinery is skipped
   /// entirely and runs are byte-identical to a plan-free build).
   bool empty() const;
@@ -168,6 +207,9 @@ enum class FaultEventType {
   kMapOutputLost,   ///< Fetch-failure reports forced a map re-execution.
   kAmCrash,         ///< The AppMaster died; in-flight containers torn down.
   kAmRestart,       ///< A replacement AM attempt replayed the journal.
+  kPartLost,        ///< An rs(k,m) block lost one part (disk/node fault).
+  kPartReconstructed,  ///< The repair pipeline rebuilt a lost part.
+  kDiskFault,       ///< A single disk died on a live node.
 };
 
 /// Stable wire names ("crash", "detected", "rejoin", ...).

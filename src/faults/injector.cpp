@@ -32,6 +32,28 @@ void FaultInjector::arm(Simulator& sim, cluster::Cluster& cluster) {
                       });
     }
   }
+  for (const auto& fault : plan_.disk_faults) {
+    const DiskFault entry = fault;
+    // Declarative (no RNG): the disk dies at its planned time; the driver
+    // turns that into part/replica loss on the live node.
+    sim.schedule_at(std::max(entry.at, sim.now()), [this, entry]() {
+      if (on_disk_fault_) on_disk_fault_(entry.node, entry.disk);
+    });
+  }
+  for (const auto& window : plan_.disk_degradations) {
+    if (tracer_ != nullptr) {
+      // Ground-truth span like node degradations below; the dispatch path
+      // consults the plan directly, so nothing is scheduled here.
+      tracer_->complete({obs::kFaultsPid, 1 + window.node},
+                        "disk degradation node " +
+                            std::to_string(window.node) + " disk " +
+                            std::to_string(window.disk),
+                        "fault", window.from, window.until - window.from,
+                        {{"node", window.node},
+                         {"disk", window.disk},
+                         {"factor", window.factor}});
+    }
+  }
   for (const auto& window : plan_.degradations) {
     const DegradedWindow w = window;
     cluster::Machine* machine = &cluster.machine(w.node);

@@ -32,6 +32,9 @@ class FaultInjector {
   using CrashHandler = std::function<void(NodeId node, bool silent)>;
   /// Fired when a node re-registers.
   using RejoinHandler = std::function<void(NodeId node)>;
+  /// Fired at a planned single-disk failure (the node itself stays up).
+  using DiskFaultHandler =
+      std::function<void(NodeId node, std::uint32_t disk)>;
 
   FaultInjector(FaultPlan plan, std::uint64_t seed)
       : plan_(std::move(plan)), rng_(seed ^ 0xfa1175eedc0ffee1ULL) {}
@@ -43,6 +46,9 @@ class FaultInjector {
   }
   void set_rejoin_handler(RejoinHandler handler) {
     on_rejoin_ = std::move(handler);
+  }
+  void set_disk_fault_handler(DiskFaultHandler handler) {
+    on_disk_fault_ = std::move(handler);
   }
 
   /// Opt-in tracing: arm() emits the plan's degradation windows as spans
@@ -87,6 +93,7 @@ class FaultInjector {
   Rng rng_;
   CrashHandler on_crash_;
   RejoinHandler on_rejoin_;
+  DiskFaultHandler on_disk_fault_;
   obs::EventTracer* tracer_ = nullptr;
   std::vector<char> down_;
   std::uint32_t pending_rejoins_ = 0;

@@ -11,6 +11,12 @@
 // Under fault injection the index reflects the *live* replica view (dead
 // nodes' pools are empty, re-replicated copies appear on their new hosts),
 // so the binder adapts to replica loss with no code of its own.
+//
+// Under rs(k,m) striping the index's per-node pools hold *part* holders,
+// so take_local naturally yields partial-local BUs (the node serves its
+// own 1/k of the stripe) ranked ahead of take_remote's fully remote ones —
+// the local > partial-local > remote ordering needs no binder changes; the
+// driver scales the locality credit by 1/k at dispatch.
 #pragma once
 
 #include <vector>

@@ -6,13 +6,70 @@
 // A BU inherits the replica placement of its parent block, so both the
 // stock block-grained scheduler and FlexMap's BU-grained late binder see
 // one consistent physical layout.
+//
+// Alternatively the NameNode can stripe each block as a Reed-Solomon
+// rs(k,m) group: k data parts plus m parity parts on k+m distinct nodes,
+// each part block/k bytes. Under striping `Block::replicas` holds the
+// part holders (holder i owns part i), so every holder is only
+// *partial-local* — it has 1/k of the block's bytes. Any k live parts
+// reconstruct the block; a read with dead parts is a *degraded read* and
+// pays a modeled decode cost.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace flexmr::hdfs {
+
+/// How the NameNode lays a file's blocks onto nodes: whole-block r-way
+/// replication (the default; byte-identical to the pre-erasure simulator)
+/// or Reed-Solomon rs(k,m) striping.
+struct StoragePolicy {
+  enum class Kind : std::uint8_t { kReplication, kErasure };
+
+  Kind kind = Kind::kReplication;
+  /// Data / parity part counts of the rs(k,m) code (only read under
+  /// kErasure).
+  std::uint32_t rs_k = 6;
+  std::uint32_t rs_m = 3;
+  /// Modeled decode throughput of a degraded read: reconstructing the
+  /// missing parts' share of `b` bytes costs b / decode_mibps seconds of
+  /// extra task startup.
+  double decode_mibps = 400.0;
+  /// Bandwidth budget of the repair pipeline. Reconstructing one lost
+  /// part reads k surviving parts (k × block/k = one full block of
+  /// repair traffic — the k× read amplification vs replication, which
+  /// copies the block once and restores *all* of it).
+  double repair_bandwidth_mibps = 100.0;
+
+  bool erasure() const { return kind == Kind::kErasure; }
+  /// Holders per block: k+m part holders, or `replication` whole copies.
+  std::uint32_t total_parts() const { return rs_k + rs_m; }
+  /// Minimum live holders for a block to be readable: any k parts, or
+  /// one whole replica.
+  std::uint32_t min_live() const { return erasure() ? rs_k : 1; }
+  /// Raw-capacity overhead of the policy: (k+m)/k, or the replication
+  /// factor under whole-block copies.
+  double overhead(std::uint32_t replication) const {
+    return erasure() ? static_cast<double>(rs_k + rs_m) / rs_k
+                     : static_cast<double>(replication);
+  }
+
+  static StoragePolicy rs(std::uint32_t k, std::uint32_t m) {
+    StoragePolicy policy;
+    policy.kind = Kind::kErasure;
+    policy.rs_k = k;
+    policy.rs_m = m;
+    return policy;
+  }
+
+  /// Rejects k < 1, m < 1, k+m > `alive_nodes` (parts must land on
+  /// distinct live nodes) and non-positive bandwidths with ConfigError.
+  /// No-op under kReplication.
+  void validate(std::uint32_t alive_nodes) const;
+};
 
 /// One block unit: the atomic input quantum (normally 8 MiB; the final BU
 /// of a file may be smaller).
@@ -38,11 +95,21 @@ struct FileLayout {
   MiB block_size = kDefaultBlockMiB;
   MiB bu_size = kBlockUnitMiB;
   std::uint32_t replication = 3;
+  StoragePolicy storage;
   std::vector<Block> blocks;
   std::vector<BlockUnit> bus;
 
+  /// Under replication: the whole-block replica holders. Under rs(k,m):
+  /// the k+m part holders — each holds 1/k of the BU's bytes.
   const std::vector<NodeId>& replicas_of(BlockUnitId bu) const {
     return blocks[bus[bu].block].replicas;
+  }
+
+  /// Live holders a block needs to stay readable (k parts or 1 replica).
+  std::uint32_t min_live() const { return storage.min_live(); }
+  /// Target holder count the repair pipeline restores toward.
+  std::uint32_t target_holders() const {
+    return storage.erasure() ? storage.total_parts() : replication;
   }
 
   /// Total work of the file in cost-weighted MiB (Σ size·cost).

@@ -16,6 +16,7 @@ BlockLocationIndex::BlockLocationIndex(const FileLayout& layout,
       taken_(layout.bus.size(), 0),
       active_(num_nodes, 1),
       extra_holders_(layout.blocks.size()),
+      dropped_holders_(layout.blocks.size()),
       unprocessed_(layout.bus.size()) {
   for (const auto& bu : layout.bus) {
     for (const NodeId node : layout.replicas_of(bu.id)) {
@@ -35,13 +36,14 @@ void BlockLocationIndex::take_one(BlockUnitId bu) {
   FLEXMR_ASSERT_MSG(!taken_[bu], "block unit taken twice");
   taken_[bu] = 1;
   --unprocessed_;
+  const std::uint32_t block = layout_->bus[bu].block;
   for (const NodeId node : layout_->replicas_of(bu)) {
-    if (!active_[node]) continue;
+    if (!active_[node] || holder_dropped(block, node)) continue;
     FLEXMR_ASSERT(counts_[node] > 0);
     --counts_[node];
   }
-  for (const NodeId node : extra_holders_[layout_->bus[bu].block]) {
-    if (!active_[node]) continue;
+  for (const NodeId node : extra_holders_[block]) {
+    if (!active_[node] || holder_dropped(block, node)) continue;
     FLEXMR_ASSERT(counts_[node] > 0);
     --counts_[node];
   }
@@ -57,7 +59,7 @@ std::vector<BlockUnitId> BlockLocationIndex::take_local(NodeId node,
   auto& cur = cursor_[node];
   while (taken.size() < n && cur < list.size()) {
     const BlockUnitId bu = list[cur];
-    if (taken_[bu]) {
+    if (taken_[bu] || holder_dropped(layout_->bus[bu].block, node)) {
       ++cur;
       continue;
     }
@@ -70,7 +72,7 @@ std::vector<BlockUnitId> BlockLocationIndex::take_local(NodeId node,
   if (taken.size() < n && counts_[node] > 0) {
     for (std::size_t i = 0; i < list.size() && taken.size() < n; ++i) {
       const BlockUnitId bu = list[i];
-      if (!taken_[bu]) {
+      if (!taken_[bu] && !holder_dropped(layout_->bus[bu].block, node)) {
         take_one(bu);
         taken.push_back(bu);
       }
@@ -132,14 +134,15 @@ void BlockLocationIndex::put_back(const std::vector<BlockUnitId>& bus) {
     FLEXMR_ASSERT_MSG(taken_[bu], "cannot put back an untaken block unit");
     taken_[bu] = 0;
     ++unprocessed_;
+    const std::uint32_t block = layout_->bus[bu].block;
     for (const NodeId node : layout_->replicas_of(bu)) {
-      if (!active_[node]) continue;
+      if (!active_[node] || holder_dropped(block, node)) continue;
       ++counts_[node];
       // Reset the scan cursor so take_local can find it again cheaply.
       cursor_[node] = 0;
     }
-    for (const NodeId node : extra_holders_[layout_->bus[bu].block]) {
-      if (!active_[node]) continue;
+    for (const NodeId node : extra_holders_[block]) {
+      if (!active_[node] || holder_dropped(block, node)) continue;
       ++counts_[node];
       cursor_[node] = 0;
     }
@@ -160,7 +163,9 @@ void BlockLocationIndex::restore_node(NodeId node) {
   active_[node] = 1;
   std::size_t count = 0;
   for (const BlockUnitId bu : node_lists_[node]) {
-    if (!taken_[bu]) ++count;
+    // A disk-lost copy stays lost across the node's downtime: the rejoin
+    // block report simply doesn't list it.
+    if (!taken_[bu] && !holder_dropped(layout_->bus[bu].block, node)) ++count;
   }
   counts_[node] = count;
   cursor_[node] = 0;
@@ -169,6 +174,19 @@ void BlockLocationIndex::restore_node(NodeId node) {
 void BlockLocationIndex::add_replica(const Block& block, NodeId node) {
   FLEXMR_ASSERT(node < node_lists_.size());
   FLEXMR_ASSERT_MSG(active_[node], "cannot rehost a block on a dead node");
+  auto& dropped = dropped_holders_[block.id];
+  const auto dropped_it = std::find(dropped.begin(), dropped.end(), node);
+  if (dropped_it != dropped.end()) {
+    // Repair landed back on a holder that lost this block to a disk fault:
+    // its node_lists_ entries still exist, so re-arming the holder is just
+    // un-dropping and recounting.
+    dropped.erase(dropped_it);
+    for (const BlockUnitId bu : block.bus) {
+      if (!taken_[bu]) ++counts_[node];
+    }
+    cursor_[node] = 0;
+    return;
+  }
   auto& extras = extra_holders_[block.id];
   FLEXMR_ASSERT_MSG(
       std::find(extras.begin(), extras.end(), node) == extras.end() &&
@@ -179,6 +197,28 @@ void BlockLocationIndex::add_replica(const Block& block, NodeId node) {
   for (const BlockUnitId bu : block.bus) {
     node_lists_[node].push_back(bu);
     if (!taken_[bu]) ++counts_[node];
+  }
+}
+
+void BlockLocationIndex::drop_replica(const Block& block, NodeId node) {
+  FLEXMR_ASSERT(node < node_lists_.size());
+  auto& dropped = dropped_holders_[block.id];
+  if (std::find(dropped.begin(), dropped.end(), node) != dropped.end()) {
+    return;  // already dropped
+  }
+  const auto& extras = extra_holders_[block.id];
+  FLEXMR_ASSERT_MSG(
+      std::find(block.replicas.begin(), block.replicas.end(), node) !=
+              block.replicas.end() ||
+          std::find(extras.begin(), extras.end(), node) != extras.end(),
+      "disk fault on a node that never held this block");
+  dropped.push_back(node);
+  any_dropped_ = true;
+  if (!active_[node]) return;  // counts already zeroed by deactivate_node
+  for (const BlockUnitId bu : block.bus) {
+    if (taken_[bu]) continue;
+    FLEXMR_ASSERT(counts_[node] > 0);
+    --counts_[node];
   }
 }
 

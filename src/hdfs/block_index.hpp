@@ -11,6 +11,7 @@
 // through a cursor, so iteration never depends on hash ordering.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -68,9 +69,27 @@ class BlockLocationIndex {
   /// from its placement-order list.
   void restore_node(NodeId node);
 
-  /// A re-replication copy of `block` landed on `node` (which must not
-  /// already hold it): the block's BUs join the node's local pool.
+  /// A re-replication copy (or reconstructed erasure part) of `block`
+  /// landed on `node`: the block's BUs join the node's local pool. If the
+  /// node previously lost its copy of this block to a disk fault
+  /// (drop_replica), the repair re-arms that holder instead of adding a
+  /// duplicate entry.
   void add_replica(const Block& block, NodeId node);
+
+  /// A single-disk fault destroyed `node`'s copy/part of `block` while the
+  /// node stayed alive: only that one block leaves the node's local pool
+  /// (deactivate_node removes all of them). Idempotent; `node` must hold
+  /// the block. The drop persists across deactivate/restore cycles — the
+  /// data is gone until a repair lands (add_replica).
+  void drop_replica(const Block& block, NodeId node);
+
+  /// True when `node`'s copy of `block` was destroyed by drop_replica and
+  /// has not been repaired since.
+  bool holder_dropped(std::uint32_t block, NodeId node) const {
+    if (!any_dropped_) return false;
+    const auto& dropped = dropped_holders_[block];
+    return std::find(dropped.begin(), dropped.end(), node) != dropped.end();
+  }
 
   bool node_active(NodeId node) const { return active_[node] != 0; }
 
@@ -89,6 +108,11 @@ class BlockLocationIndex {
   std::vector<char> active_;
   /// Re-replication targets per block, beyond the layout's replica set.
   std::vector<std::vector<NodeId>> extra_holders_;
+  /// Holders whose copy of a block was destroyed by a disk fault while the
+  /// node stayed alive (drop_replica). Checked on every take/put only once
+  /// any_dropped_ flips, so the default path stays branch-cheap.
+  std::vector<std::vector<NodeId>> dropped_holders_;
+  bool any_dropped_ = false;
   std::size_t unprocessed_ = 0;
 };
 

@@ -14,6 +14,36 @@ double FileLayout::total_work() const {
   return work;
 }
 
+void StoragePolicy::validate(std::uint32_t alive_nodes) const {
+  if (!erasure()) return;
+  if (rs_k < 1) {
+    throw ConfigError("StoragePolicy: rs(k,m) requires k >= 1");
+  }
+  if (rs_m < 1) {
+    throw ConfigError(
+        "StoragePolicy: rs(k,m) requires m >= 1 (use replication for "
+        "unprotected striping)");
+  }
+  if (rs_k + rs_m > alive_nodes) {
+    std::ostringstream os;
+    os << "StoragePolicy: rs(" << rs_k << "," << rs_m << ") needs " << rs_k + rs_m
+       << " distinct part holders but only " << alive_nodes
+       << " nodes are alive at t=0";
+    throw ConfigError(os.str());
+  }
+  if (!(decode_mibps > 0)) {
+    std::ostringstream os;
+    os << "StoragePolicy: decode_mibps must be > 0, got " << decode_mibps;
+    throw ConfigError(os.str());
+  }
+  if (!(repair_bandwidth_mibps > 0)) {
+    std::ostringstream os;
+    os << "StoragePolicy: repair_bandwidth_mibps must be > 0, got "
+       << repair_bandwidth_mibps;
+    throw ConfigError(os.str());
+  }
+}
+
 NameNode::NameNode(std::uint32_t num_nodes, PlacementPolicy policy, Rng rng)
     : num_nodes_(num_nodes), policy_(policy), rng_(rng) {
   FLEXMR_ASSERT(num_nodes > 0);
@@ -44,7 +74,8 @@ std::vector<NodeId> NameNode::place_replicas(std::uint32_t count) {
 }
 
 FileLayout NameNode::create_file(MiB size, MiB block_size,
-                                 std::uint32_t replication, MiB bu_size) {
+                                 std::uint32_t replication, MiB bu_size,
+                                 StoragePolicy storage) {
   // Caller-facing misconfiguration is a ConfigError, not an assert: these
   // values come straight from RunConfig / bench flags.
   if (!(size > 0)) {
@@ -60,6 +91,7 @@ FileLayout NameNode::create_file(MiB size, MiB block_size,
   if (replication == 0) {
     throw ConfigError("NameNode::create_file: replication must be >= 1");
   }
+  storage.validate(num_nodes_);
   if (!(bu_size > 0) || block_size < bu_size) {
     std::ostringstream os;
     os << "NameNode::create_file: BU size " << bu_size
@@ -79,6 +111,11 @@ FileLayout NameNode::create_file(MiB size, MiB block_size,
   layout.block_size = block_size;
   layout.bu_size = bu_size;
   layout.replication = std::min(replication, num_nodes_);
+  layout.storage = storage;
+  // Under rs(k,m) a block's "replicas" are its k+m part holders, each on a
+  // distinct node (validated above, so place_replicas never clamps).
+  const std::uint32_t holders_per_block =
+      storage.erasure() ? storage.total_parts() : layout.replication;
 
   const auto bus_per_block =
       static_cast<std::uint32_t>(std::ceil(block_size / bu_size - 1e-9));
@@ -88,7 +125,7 @@ FileLayout NameNode::create_file(MiB size, MiB block_size,
   while (remaining > 1e-9) {
     Block block;
     block.id = block_id;
-    block.replicas = place_replicas(layout.replication);
+    block.replicas = place_replicas(holders_per_block);
     for (std::uint32_t i = 0; i < bus_per_block && remaining > 1e-9; ++i) {
       BlockUnit bu;
       bu.id = bu_id++;

@@ -24,8 +24,12 @@ class NameNode {
   /// Creates a file of `size` MiB split into `block_size` blocks of
   /// `bu_size` BUs, replicated `replication` times. If the cluster has
   /// fewer nodes than `replication`, every node holds a replica.
+  /// Under `storage.rs(k,m)` each block is instead striped onto k+m
+  /// distinct part holders (the cluster must have at least k+m nodes);
+  /// `replication` is still recorded but placement ignores it.
   FileLayout create_file(MiB size, MiB block_size, std::uint32_t replication,
-                         MiB bu_size = kBlockUnitMiB);
+                         MiB bu_size = kBlockUnitMiB,
+                         StoragePolicy storage = {});
 
   std::uint32_t num_nodes() const { return num_nodes_; }
 

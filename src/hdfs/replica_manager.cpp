@@ -16,7 +16,9 @@ ReplicaManager::ReplicaManager(const FileLayout& layout,
       block_bytes_(layout.blocks.size(), 0.0),
       alive_(num_nodes, 1),
       live_block_count_(num_nodes, 0),
-      queue_state_(layout.blocks.size(), 0) {
+      queue_state_(layout.blocks.size(), 0),
+      min_live_(layout.min_live()),
+      target_holders_(layout.target_holders()) {
   for (const auto& block : layout.blocks) {
     live_holders_[block.id] = block.replicas;
     disk_holders_[block.id] = block.replicas;
@@ -77,13 +79,70 @@ ReplicaManager::NodeLossReport ReplicaManager::on_node_lost(NodeId node) {
     if (it == holders.end()) continue;  // already non-live (repeat death)
     holders.erase(it);
     report.lost.push_back(block);
-    if (holders.empty()) {
+    if (holders.size() < min_live_) {
       report.zero.push_back(block);
-      ++zero_replica_count_;
+      if (holders.size() + 1 == min_live_) ++unreadable_count_;
     } else {
       enqueue(block);
     }
   }
+  pump();
+  return report;
+}
+
+ReplicaManager::NodeLossReport ReplicaManager::on_disk_lost(
+    NodeId node, std::uint32_t disk, std::uint32_t disks_per_node) {
+  NodeLossReport report;
+  auto& blocks = node_blocks_[node];
+  for (std::size_t i = 0; i < blocks.size();) {
+    const std::uint32_t block = blocks[i];
+    if (disk_of(block, node, disks_per_node) != disk) {
+      ++i;
+      continue;
+    }
+    // The disk's data is destroyed: forget it from both the live view and
+    // the rejoin memory, so neither a block report nor target selection
+    // treats the node as still holding it.
+    blocks[i] = blocks.back();
+    blocks.pop_back();
+    auto& remembered = disk_holders_[block];
+    const auto rit = std::find(remembered.begin(), remembered.end(), node);
+    if (rit != remembered.end()) remembered.erase(rit);
+
+    if (in_flight_ && in_flight_->block == block &&
+        (in_flight_->source == node || in_flight_->target == node)) {
+      sim_->cancel(in_flight_->event);
+      if (tracer_ != nullptr) {
+        tracer_->instant({obs::kNameNodePid, 0},
+                         "repair aborted (disk failed)", "hdfs", sim_->now(),
+                         {{"block", block},
+                          {"source", in_flight_->source},
+                          {"target", in_flight_->target}});
+      }
+      in_flight_.reset();
+      if (queue_state_[block] == 0) {
+        queue_state_[block] = 1;
+        queue_.push_front(block);
+      }
+    }
+
+    auto& holders = live_holders_[block];
+    const auto it = std::find(holders.begin(), holders.end(), node);
+    if (it != holders.end()) {
+      holders.erase(it);
+      FLEXMR_ASSERT(live_block_count_[node] > 0);
+      --live_block_count_[node];
+      report.lost.push_back(block);
+      if (holders.size() < min_live_) {
+        report.zero.push_back(block);
+        if (holders.size() + 1 == min_live_) ++unreadable_count_;
+      } else {
+        enqueue(block);
+      }
+    }
+  }
+  std::sort(report.lost.begin(), report.lost.end());
+  std::sort(report.zero.begin(), report.zero.end());
   pump();
   return report;
 }
@@ -94,11 +153,11 @@ std::vector<std::uint32_t> ReplicaManager::on_node_restored(NodeId node) {
   alive_[node] = 1;
   for (const std::uint32_t block : node_blocks_[node]) {
     auto& holders = live_holders_[block];
-    if (holders.empty()) --zero_replica_count_;
+    if (holders.size() + 1 == min_live_) --unreadable_count_;
     holders.push_back(node);
     ++live_block_count_[node];
     restored.push_back(block);
-    if (holders.size() < layout_->replication) enqueue(block);
+    if (holders.size() < target_holders_) enqueue(block);
   }
   // Parked blocks were waiting for a viable target; the rejoined node may
   // be one.
@@ -145,8 +204,11 @@ void ReplicaManager::pump() {
     queue_.pop_front();
     queue_state_[block] = 0;
     const auto& holders = live_holders_[block];
-    if (holders.empty()) continue;  // stalled until a rejoin re-enqueues it
-    if (holders.size() >= layout_->replication) continue;  // raced a rejoin
+    // Unreadable blocks stall until a rejoin re-enqueues them: replication
+    // needs a surviving copy to read, rs(k,m) needs k surviving parts to
+    // decode.
+    if (holders.size() < min_live_) continue;
+    if (holders.size() >= target_holders_) continue;  // raced a rejoin
     const NodeId target = pick_target(block);
     if (target == kInvalidNode) {
       queue_state_[block] = 2;
@@ -166,10 +228,13 @@ void ReplicaManager::pump() {
 }
 
 void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
+  const bool erasure = layout_->storage.erasure();
   if (tracer_ != nullptr && in_flight_) {
     tracer_->complete({obs::kNameNodePid, 0},
-                      "re-replicate block " + std::to_string(block), "hdfs",
-                      in_flight_->started_at,
+                      (erasure ? "reconstruct part of block "
+                               : "re-replicate block ") +
+                          std::to_string(block),
+                      "hdfs", in_flight_->started_at,
                       sim_->now() - in_flight_->started_at,
                       {{"block", block},
                        {"source", in_flight_->source},
@@ -177,11 +242,15 @@ void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
                        {"mib", block_bytes_[block]}});
   }
   in_flight_.reset();
+  // Either way the pipeline read a full block's worth of bytes — but an
+  // erasure pass restored only one part (block/k), the k× amplification.
+  repair_read_mib_ += block_bytes_[block];
+  if (erasure) ++parts_reconstructed_;
   live_holders_[block].push_back(target);
   disk_holders_[block].push_back(target);
   node_blocks_[target].push_back(block);
   ++live_block_count_[target];
-  if (live_holders_[block].size() < layout_->replication) enqueue(block);
+  if (live_holders_[block].size() < target_holders_) enqueue(block);
   if (on_copy_complete_) on_copy_complete_(block, target);
   pump();
 }

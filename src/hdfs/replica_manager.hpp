@@ -20,6 +20,13 @@
 //     the driver aborts with DataLossError unless a dead holder has a
 //     planned rejoin, in which case the block waits for its block report.
 //
+// Under an rs(k,m) StoragePolicy the same machinery runs on parts: the
+// target holder count is k+m, a block is *unreadable* (the zero-replica
+// state above) once fewer than k parts are live, and each pipeline pass
+// reconstructs one lost part by reading k surviving parts — a full block
+// of repair traffic per part, the k× read amplification that prices
+// erasure repair against whole-block re-replication.
+//
 // Two holder views are kept per block: *live* holders (alive nodes whose
 // disk has the data — what schedulers and locality decisions see) and
 // *remembered* holders (every disk with the data, alive or dead — a silent
@@ -52,11 +59,12 @@ namespace flexmr::hdfs {
 
 class ReplicaManager {
  public:
-  /// What one node death did to the replica map.
+  /// What one node death (or single-disk loss) did to the replica map.
   struct NodeLossReport {
-    /// Blocks that lost a replica on the dead node (ascending block id).
+    /// Blocks that lost a replica/part on the node (ascending block id).
     std::vector<std::uint32_t> lost;
-    /// Subset of `lost` now with no live replica at all.
+    /// Subset of `lost` now unreadable: no live replica at all, or fewer
+    /// than k live parts under rs(k,m).
     std::vector<std::uint32_t> zero;
   };
 
@@ -102,14 +110,41 @@ class ReplicaManager {
 
   bool node_alive(NodeId node) const { return alive_[node] != 0; }
 
-  /// True while at least one block has no live replica — such blocks keep
-  /// unprocessed BUs that no scheduler can take, so the driver's
-  /// scheduling-deadlock guard must stand down until rejoin.
-  bool has_zero_replica_blocks() const { return zero_replica_count_ > 0; }
+  /// Live holders a block needs to stay readable (k under rs(k,m), else 1)
+  /// and the holder count repair restores toward (k+m, else replication).
+  std::uint32_t min_live() const { return min_live_; }
+  std::uint32_t target_holders() const { return target_holders_; }
+
+  /// True while at least one block is unreadable (no live replica, or
+  /// < k live parts) — such blocks keep unprocessed BUs that no scheduler
+  /// can take, so the driver's scheduling-deadlock guard must stand down
+  /// until rejoin.
+  bool has_unreadable_blocks() const { return unreadable_count_ > 0; }
+
+  /// Bytes the repair pipeline has read so far (re-replication reads the
+  /// block once per copy; rs(k,m) reads k parts — one full block — per
+  /// reconstructed part).
+  MiB repair_read_mib() const { return repair_read_mib_; }
+  /// Lost parts the pipeline has reconstructed (0 under replication).
+  std::uint64_t parts_reconstructed() const { return parts_reconstructed_; }
+
+  /// Which of a node's disks a block's replica/part lives on — a fixed
+  /// deterministic striping shared by the fault plan and the driver.
+  static std::uint32_t disk_of(std::uint32_t block, NodeId node,
+                               std::uint32_t disks_per_node) {
+    return (block + node) % disks_per_node;
+  }
 
   /// The node was declared lost: drop its replicas from the live view,
   /// queue re-replication work, and report what happened.
   NodeLossReport on_node_lost(NodeId node);
+
+  /// One disk of a (possibly live) node failed: only the replicas/parts
+  /// striped onto that disk are destroyed — unlike a crash the data is
+  /// really gone, so the node's rejoin block report will not restore them
+  /// and the repair pipeline may legitimately re-target the same node.
+  NodeLossReport on_disk_lost(NodeId node, std::uint32_t disk,
+                              std::uint32_t disks_per_node);
 
   /// The node re-registered and sent its block report: every block on its
   /// disk regains a live replica. Returns the restored block ids.
@@ -147,7 +182,11 @@ class ReplicaManager {
   std::deque<std::uint32_t> queue_;
   std::vector<std::uint32_t> parked_;
   std::optional<InFlightCopy> in_flight_;
-  std::size_t zero_replica_count_ = 0;
+  std::uint32_t min_live_ = 1;
+  std::uint32_t target_holders_ = 3;
+  std::size_t unreadable_count_ = 0;
+  MiB repair_read_mib_ = 0.0;
+  std::uint64_t parts_reconstructed_ = 0;
 };
 
 }  // namespace flexmr::hdfs

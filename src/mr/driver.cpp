@@ -83,6 +83,7 @@ void JobDriver::start() {
   result_.total_slots = rm_.total_slots();
   result_.seed = params_.seed;
   result_.fault_plan = plan_;
+  result_.storage = layout_->storage;
   result_.submit_time = sim_->now();
   result_.map_phase_start = sim_->now();
   result_.am_restarts = am_attempt_ - 1;
@@ -116,8 +117,13 @@ void JobDriver::start() {
       replica_mgr_ = std::make_unique<hdfs::ReplicaManager>(
           *layout_, cluster_->num_nodes());
       if (plan_.re_replication) {
+        // Under rs(k,m) the pipeline reconstructs parts instead of copying
+        // replicas; its budget comes from the storage policy so repair
+        // traffic is priced against PR 4's re-replication knob.
         replica_mgr_->enable_re_replication(
-            *sim_, plan_.re_replication_bandwidth_mibps);
+            *sim_, layout_->storage.erasure()
+                       ? layout_->storage.repair_bandwidth_mibps
+                       : plan_.re_replication_bandwidth_mibps);
       }
     }
     replica_mgr_->set_copy_complete_handler(
@@ -138,6 +144,10 @@ void JobDriver::start() {
     });
     injector_->set_rejoin_handler(
         [this](NodeId node) { on_node_rejoin(node); });
+    injector_->set_disk_fault_handler(
+        [this](NodeId node, std::uint32_t disk) {
+          on_disk_fault(node, disk);
+        });
     if (!recovered_) {
       // A restarted AM does NOT reseed liveness: heartbeats missed during
       // AM downtime count toward silent-crash expiry, exactly as a real
@@ -266,7 +276,13 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
     }
   }
 
+  const bool erasure = layout_->storage.erasure();
+  // A part holder serves only its own 1/k of the stripe from local disk;
+  // the other k-1 parts come over the network regardless of placement.
+  const double part_share = erasure ? 1.0 / layout_->storage.rs_k : 1.0;
+  const bool disk_windows = !plan_.disk_degradations.empty();
   MiB local = 0;
+  MiB degraded = 0;
   double work = 0;
   for (const BlockUnitId bu : task->bus) {
     const auto& unit = layout_->bus[bu];
@@ -275,14 +291,35 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
     // Locality against the *live* replica set when the NameNode is live:
     // a re-replicated copy makes the BU local to its new host, a dead
     // holder no longer counts.
+    bool holds = false;
     if (replica_mgr_) {
-      if (replica_mgr_->holds_live(unit.block, node)) local += unit.size;
+      holds = replica_mgr_->holds_live(unit.block, node);
     } else {
       const auto& replicas = layout_->replicas_of(bu);
-      if (std::find(replicas.begin(), replicas.end(), node) !=
-          replicas.end()) {
+      holds = std::find(replicas.begin(), replicas.end(), node) !=
+              replicas.end();
+    }
+    if (holds) {
+      if (part_share != 1.0 || disk_windows) {
+        // A degraded disk serves its resident part/replica below media
+        // speed; the shortfall reads remotely, so the BU simply loses that
+        // much locality credit for the window's duration.
+        local += unit.size * part_share *
+                 plan_.disk_degradation_factor(
+                     node,
+                     hdfs::ReplicaManager::disk_of(unit.block, node,
+                                                   plan_.disks_per_node),
+                     sim_->now());
+      } else {
         local += unit.size;
       }
+    }
+    // A stripe with dead parts still decodes from any k survivors, but the
+    // reader pays the reconstruction cost below.
+    if (erasure && replica_mgr_ &&
+        replica_mgr_->live_holder_count(unit.block) <
+            layout_->storage.total_parts()) {
+      degraded += unit.size;
     }
   }
   task->avg_cost = work / task->size;
@@ -303,8 +340,26 @@ void JobDriver::dispatch_map(NodeId node, MapLaunch launch) {
   }
 
   const TaskId id = task->id;
+  SimDuration decode_s = 0;
+  if (degraded > 0) {
+    // Degraded read: fetch any k surviving parts and decode the missing
+    // ones before compute starts — the cost lands in the task's startup
+    // and is therefore visible in JCT.
+    decode_s = degraded / layout_->storage.decode_mibps;
+    ++result_.degraded_reads;
+    result_.decode_mib += degraded;
+    if (ctr_degraded_reads_) ctr_degraded_reads_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->instant({obs::node_pid(node), 0}, "degraded-read", "fault",
+                       sim_->now(),
+                       {{"task", id},
+                        {"mib", degraded},
+                        {"decode_s", decode_s}});
+    }
+  }
   const SimDuration startup = params_.container_alloc_s +
-                              params_.jvm_startup_s + launch.extra_startup_s;
+                              params_.jvm_startup_s +
+                              launch.extra_startup_s + decode_s;
   if (injector_ && !injector_->responsive(node)) {
     // Dispatched onto a silently-dead node (the AM has not noticed yet):
     // the container never comes up. The task freezes in kStarting until
@@ -1056,12 +1111,13 @@ void JobDriver::heartbeat() {
   // declined means the scheduler wedged itself. A cluster with zero live
   // slots is excluded — that is not a scheduler wedge but a fault state
   // (either a rejoin is pending or fail_node already aborted the job).
-  // Likewise a block with no live replica: its BUs are untakeable until a
-  // holder rejoins, which is a storage stall, not a scheduler bug.
+  // Likewise an unreadable block (no live replica, or fewer than k live
+  // parts under rs(k,m)): its BUs are untakeable until a holder rejoins
+  // or repair restores quorum — a storage stall, not a scheduler bug.
   if (!map_phase_done_ && running_map_count_ == 0 &&
       index_.unprocessed() > 0 && rm_.total_slots() > 0 &&
       rm_.total_free() == rm_.total_slots() &&
-      (!replica_mgr_ || !replica_mgr_->has_zero_replica_blocks())) {
+      (!replica_mgr_ || !replica_mgr_->has_unreadable_blocks())) {
     throw InvariantError("scheduler declined all slots with work pending");
   }
 
@@ -1397,8 +1453,10 @@ void JobDriver::fail_node(NodeId node, bool schedule_reoffer) {
     replica_report = replica_mgr_->on_node_lost(node);
     index_.deactivate_node(node);
     for (const std::uint32_t block : replica_report.lost) {
-      record_fault(faults::FaultEventType::kReplicaLost, node, kInvalidTask,
-                   0, block);
+      record_fault(layout_->storage.erasure()
+                       ? faults::FaultEventType::kPartLost
+                       : faults::FaultEventType::kReplicaLost,
+                   node, kInvalidTask, 0, block);
     }
   }
 
@@ -1614,9 +1672,10 @@ void JobDriver::reopen_map_phase_for_lost_outputs() {
 void JobDriver::check_data_loss(
     const std::vector<std::uint32_t>& suspect_blocks) {
   if (!replica_mgr_ || done_) return;
+  const std::uint32_t min_live = layout_->min_live();
   std::vector<std::uint32_t> lost;
   for (const std::uint32_t block : suspect_blocks) {
-    if (replica_mgr_->live_holder_count(block) > 0) continue;
+    if (replica_mgr_->live_holder_count(block) >= min_live) continue;
     bool unread = false;
     for (const BlockUnitId bu : layout_->blocks[block].bus) {
       if (!bu_done_[bu]) {
@@ -1624,20 +1683,21 @@ void JobDriver::check_data_loss(
         break;
       }
     }
-    // Losing every replica of a fully-read block is harmless: its map
+    // Losing read quorum on a fully-read block is harmless: its map
     // outputs (or their re-executions) carry the data forward.
     if (!unread) continue;
-    // A dead holder with a planned rejoin brings the replica back via its
-    // block report; the block waits instead of dooming the job.
-    bool recoverable = false;
+    // A dead holder with a planned rejoin brings its replica/part back via
+    // its block report; while rejoins can restore read quorum the block
+    // waits instead of dooming the job. (Disk-destroyed parts were erased
+    // from the remembered holders — a rejoin cannot bring those back.)
+    std::size_t reachable = replica_mgr_->live_holder_count(block);
     for (const NodeId holder : replica_mgr_->remembered_holders(block)) {
       if (!replica_mgr_->node_alive(holder) && injector_ &&
           injector_->rejoin_pending(holder)) {
-        recoverable = true;
-        break;
+        ++reachable;
       }
     }
-    if (recoverable) continue;
+    if (reachable >= min_live) continue;
     record_fault(faults::FaultEventType::kDataLoss, kInvalidNode,
                  kInvalidTask, 0, block);
     lost.push_back(block);
@@ -1650,19 +1710,67 @@ void JobDriver::check_data_loss(
   }
   result_.lost_blocks.insert(result_.lost_blocks.end(), lost.begin(),
                              lost.end());
-  abort_job("data loss: every replica of unread block " + ids + " is gone");
+  if (layout_->storage.erasure()) {
+    abort_job("data loss: more than " +
+              std::to_string(layout_->storage.rs_m) +
+              " parts of unread block " + ids + " are gone");
+  } else {
+    abort_job("data loss: every replica of unread block " + ids +
+              " is gone");
+  }
 }
 
 void JobDriver::on_block_re_replicated(std::uint32_t block, NodeId target) {
   if (done_) return;
-  record_fault(faults::FaultEventType::kReReplicated, target, kInvalidTask,
-               0, block);
+  const bool erasure = layout_->storage.erasure();
+  record_fault(erasure ? faults::FaultEventType::kPartReconstructed
+                       : faults::FaultEventType::kReReplicated,
+               target, kInvalidTask, 0, block);
+  if (erasure) {
+    ++result_.parts_reconstructed;
+    if (ctr_parts_reconstructed_) ctr_parts_reconstructed_->inc();
+  }
+  if (replica_mgr_) {
+    result_.repair_read_mib = replica_mgr_->repair_read_mib();
+  }
   index_.add_replica(layout_->blocks[block], target);
   scheduler_->on_block_rehosted(*this, block, target);
   // The new local pool may unblock a scheduler that declined its slots.
   sim_->schedule_after(0.0, [this]() {
     if (!done_) rm_.offer_all();
   });
+}
+
+void JobDriver::on_disk_fault(NodeId node, std::uint32_t disk) {
+  if (done_) return;
+  // Single-disk loss on a live node: the plan is non-empty (it carries the
+  // disk fault), so start() already built the replica manager.
+  FLEXMR_ASSERT(replica_mgr_ != nullptr);
+  record_fault(faults::FaultEventType::kDiskFault, node);
+  if (tracer_ != nullptr) {
+    tracer_->instant({obs::node_pid(node), 0}, "disk fault", "fault",
+                     sim_->now(), {{"disk", disk}});
+  }
+  const auto report =
+      replica_mgr_->on_disk_lost(node, disk, plan_.disks_per_node);
+  for (const std::uint32_t block : report.lost) {
+    record_fault(layout_->storage.erasure()
+                     ? faults::FaultEventType::kPartLost
+                     : faults::FaultEventType::kReplicaLost,
+                 node, kInvalidTask, 0, block);
+    // The index mirrors the loss so local pools and locality credit stop
+    // counting the destroyed copy (it survives node deactivate/restore:
+    // a rejoin's block report cannot resurrect a dead disk).
+    index_.drop_replica(layout_->blocks[block], node);
+  }
+  check_data_loss(report.zero);
+  if (!done_) {
+    // Locality changed under the schedulers' feet; re-offer so delay
+    // cursors re-evaluate against the shrunken pools.
+    sim_->schedule_after(0.0, [this]() {
+      if (!done_) rm_.offer_all();
+    });
+  }
 }
 
 void JobDriver::on_node_silent(NodeId node) {
@@ -2029,6 +2137,8 @@ void JobDriver::trace_setup() {
   ctr_heartbeats_ = &metrics.counter("heartbeats");
   ctr_am_restarts_ = &metrics.counter("am_restarts");
   ctr_redone_units_ = &metrics.counter("redone_work_units");
+  ctr_degraded_reads_ = &metrics.counter("degraded_reads");
+  ctr_parts_reconstructed_ = &metrics.counter("parts_reconstructed");
   if (am_attempt_ > 1) ctr_am_restarts_->inc();
   metrics.histogram("map.total_runtime_s");
   metrics.histogram("map.effective_runtime_s");
@@ -2074,6 +2184,15 @@ void JobDriver::trace_setup() {
                               replica_mgr_->under_replicated_count())
                         : 0.0;
   });
+  if (layout_->storage.erasure()) {
+    // rs(k,m) alias of the same backlog: the repair queue holds blocks
+    // below their k+m part target, sized for the erasure dashboards.
+    metrics.register_gauge("repair_backlog", [this]() {
+      return replica_mgr_ ? static_cast<double>(
+                                replica_mgr_->under_replicated_count())
+                          : 0.0;
+    });
+  }
   if (trace_->options().per_node_gauges) {
     for (NodeId node = 0; node < cluster_->num_nodes(); ++node) {
       metrics.register_gauge(

@@ -256,7 +256,10 @@ class JobDriver final : public DriverContext {
            !blacklist_saturated();
   }
   bool block_readable(std::uint32_t block) const override {
-    return !replica_mgr_ || replica_mgr_->live_holder_count(block) > 0;
+    // Readable = enough live holders to serve (or decode) the data: one
+    // whole replica, or any k of the k+m parts under rs(k,m).
+    return !replica_mgr_ ||
+           replica_mgr_->live_holder_count(block) >= layout_->min_live();
   }
   obs::EventTracer* tracer() const override { return tracer_; }
   recover::JobJournal* journal() const override { return journal_; }
@@ -377,9 +380,13 @@ class JobDriver final : public DriverContext {
   /// Aborts with DataLossError semantics if any `suspect` block has zero
   /// live replicas, unread BUs, and no dead holder with a rejoin pending.
   void check_data_loss(const std::vector<std::uint32_t>& suspect_blocks);
-  /// NameNode re-replication pipeline callback: a copy of `block` landed
-  /// on `target`.
+  /// NameNode re-replication pipeline callback: a copy of `block` (or a
+  /// reconstructed rs(k,m) part) landed on `target`.
   void on_block_re_replicated(std::uint32_t block, NodeId target);
+  /// Ground-truth single-disk failure on a live node: the disk's
+  /// replicas/parts are destroyed (kPartLost / kReplicaLost per block),
+  /// the live view and index shrink, and repair work is queued.
+  void on_disk_fault(NodeId node, std::uint32_t disk);
 
   /// Replays the adopted RecoveredState into driver state: node liveness
   /// reconciliation, committed maps re-credited (synthetic Done tasks in
@@ -514,6 +521,8 @@ class JobDriver final : public DriverContext {
   obs::MetricsRegistry::Counter* ctr_heartbeats_ = nullptr;
   obs::MetricsRegistry::Counter* ctr_am_restarts_ = nullptr;
   obs::MetricsRegistry::Counter* ctr_redone_units_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_degraded_reads_ = nullptr;
+  obs::MetricsRegistry::Counter* ctr_parts_reconstructed_ = nullptr;
 
   JobResult result_;
 };

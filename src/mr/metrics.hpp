@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "faults/fault_plan.hpp"
+#include "hdfs/block.hpp"
 
 namespace flexmr::mr {
 
@@ -111,8 +112,22 @@ struct JobResult {
   std::vector<faults::FaultEvent> fault_events;
 
   /// Block ids whose last replica died before the block was fully read
-  /// (set only on a data-loss abort).
+  /// (under rs(k,m): blocks left with fewer than k live parts). Set only
+  /// on a data-loss abort.
   std::vector<std::uint32_t> lost_blocks;
+
+  /// The storage policy the input file was laid out with (default
+  /// replication unless the run opted into rs(k,m)).
+  hdfs::StoragePolicy storage;
+  /// Map dispatches that read an rs(k,m) block with dead parts and paid
+  /// the decode cost.
+  std::uint64_t degraded_reads = 0;
+  /// Lost parts the repair pipeline reconstructed.
+  std::uint64_t parts_reconstructed = 0;
+  /// Input bytes that went through degraded-read decoding.
+  MiB decode_mib = 0;
+  /// Bytes the repair pipeline read (k× amplified under rs(k,m)).
+  MiB repair_read_mib = 0;
 
   /// AM restarts this job survived (0 in a crash-free run), the
   /// per-attempt crash/replay timeline, and the total in-flight work the

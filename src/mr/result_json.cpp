@@ -75,6 +75,25 @@ void write_job_result(JsonWriter& writer, const JobResult& result,
     writer.end_object();
   }
 
+  // Present only for rs(k,m) runs: replication-policy documents (and the
+  // pinned golden hashes) stay byte-identical to pre-erasure builds.
+  if (result.storage.erasure()) {
+    writer.key("storage").begin_object();
+    writer.field("policy", "rs");
+    writer.field("k", result.storage.rs_k);
+    writer.field("m", result.storage.rs_m);
+    writer.field("decode_mibps", result.storage.decode_mibps);
+    writer.field("repair_bandwidth_mibps",
+                 result.storage.repair_bandwidth_mibps);
+    writer.field("storage_overhead",
+                 result.storage.overhead(0 /* unused under rs */));
+    writer.field("degraded_reads", result.degraded_reads);
+    writer.field("parts_reconstructed", result.parts_reconstructed);
+    writer.field("decode_mib", result.decode_mib);
+    writer.field("repair_read_mib", result.repair_read_mib);
+    writer.end_object();
+  }
+
   const auto nodes = cluster ? node_utilization(result, *cluster)
                              : node_utilization(result);
   const SimDuration span = result.jct();

@@ -20,13 +20,21 @@ void StockHadoopScheduler::on_job_start(mr::DriverContext& ctx) {
   const auto& layout = ctx.layout();
   block_launched_.assign(layout.blocks.size(), 0);
   node_local_blocks_.assign(ctx.num_nodes(), {});
+  node_partial_blocks_.assign(ctx.num_nodes(), {});
   node_cursor_.assign(ctx.num_nodes(), 0);
+  partial_cursor_.assign(ctx.num_nodes(), 0);
   pending_count_ = layout.blocks.size();
   global_cursor_ = 0;
   remote_wait_since_.assign(ctx.num_nodes(), -1.0);
+  // Under rs(k,m) striping a holder owns one *part*, not the block: no
+  // node is fully local, so every holder routes to the partial tier (1b)
+  // and the full-local lists stay empty. Replication keeps the old lists
+  // and never touches the partial tier.
+  const bool erasure = layout.storage.erasure();
   for (const auto& block : layout.blocks) {
     for (const NodeId node : block.replicas) {
-      node_local_blocks_[node].push_back(block.id);
+      (erasure ? node_partial_blocks_ : node_local_blocks_)[node].push_back(
+          block.id);
     }
   }
 }
@@ -95,6 +103,25 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
       --pending_count_;
     }
     ++cursor;
+  }
+
+  // 1b. Partial-local block (rs(k,m) only; the list is empty otherwise).
+  //     Holding one live part does not make the stripe readable — the
+  //     block still needs k live parts overall — so unlike rule 1 this
+  //     scan must consult block_readable.
+  auto& partials = node_partial_blocks_[node];
+  auto& pcursor = partial_cursor_[node];
+  while (pcursor < partials.size()) {
+    const std::uint32_t block_id = partials[pcursor];
+    if (!block_launched_[block_id] && ctx.block_readable(block_id)) {
+      if (auto bus = free_units(block_id); !bus.empty()) {
+        remote_wait_since_[node] = -1.0;
+        return make_launch(block_id, std::move(bus));
+      }
+      block_launched_[block_id] = 1;
+      --pending_count_;
+    }
+    ++pcursor;
   }
 
   // 2. Any pending block (remote execution on an idle node) — after the
@@ -255,6 +282,7 @@ void StockHadoopScheduler::on_node_recovered(mr::DriverContext& ctx,
                                              NodeId node) {
   (void)ctx;
   node_cursor_[node] = 0;
+  partial_cursor_[node] = 0;
   global_cursor_ = 0;
   remote_wait_since_[node] = -1.0;
 }
@@ -262,12 +290,14 @@ void StockHadoopScheduler::on_node_recovered(mr::DriverContext& ctx,
 void StockHadoopScheduler::on_block_rehosted(mr::DriverContext& ctx,
                                              std::uint32_t block,
                                              NodeId node) {
-  (void)ctx;
-  // The copy lands at the tail of the node's local list — at or past the
-  // node's scan cursor, so the locality scan finds it without a rewind.
-  // (A launched block is pushed too: the scan skips it, and it matters
-  // again if a failure later re-pends it.)
-  node_local_blocks_[node].push_back(block);
+  // The copy lands at the tail of the node's local (or, for an rs(k,m)
+  // reconstructed part, partial-local) list — at or past the node's scan
+  // cursor, so the locality scan finds it without a rewind. (A launched
+  // block is pushed too: the scan skips it, and it matters again if a
+  // failure later re-pends it.)
+  (ctx.layout().storage.erasure() ? node_partial_blocks_
+                                  : node_local_blocks_)[node]
+      .push_back(block);
 }
 
 void StockHadoopScheduler::repend_reclaimed(
@@ -296,6 +326,7 @@ void StockHadoopScheduler::repend_reclaimed(
   }
   // Rewind the scan cursors: re-pended blocks may sit behind them.
   for (auto& cursor : node_cursor_) cursor = 0;
+  for (auto& cursor : partial_cursor_) cursor = 0;
   global_cursor_ = 0;
 }
 

@@ -5,6 +5,9 @@
 // Dispatch order on a free slot (Hadoop's node-local → off-switch order,
 // collapsed to two levels on a flat topology):
 //   1. the lowest-id pending block with a replica on the node,
+//   1b. under rs(k,m) striping: the lowest-id pending block with a *part*
+//       on the node ("partial-local" — the node serves 1/k of the stripe
+//       from its own disk, so it still beats a fully remote read),
 //   2. the lowest-id pending block anywhere (remote execution),
 //   3. if speculation is enabled and no blocks are pending: a LATE
 //      speculative copy of the slowest-looking running task.
@@ -107,7 +110,11 @@ class StockHadoopScheduler : public mr::Scheduler {
   StockOptions options_;
   std::vector<char> block_launched_;
   std::vector<std::vector<std::uint32_t>> node_local_blocks_;
+  /// rs(k,m) only: blocks with a part on the node (empty lists under
+  /// replication, so the partial-local tier costs nothing there).
+  std::vector<std::vector<std::uint32_t>> node_partial_blocks_;
   std::vector<std::size_t> node_cursor_;
+  std::vector<std::size_t> partial_cursor_;
   std::size_t pending_count_ = 0;
   std::uint32_t global_cursor_ = 0;
   /// Delay scheduling: when each node started waiting for a local block

@@ -71,9 +71,20 @@ mr::JobResult run_job(cluster::Cluster& cluster, const Benchmark& bench,
     sim.configure_lanes(config.lanes, config.params.heartbeat_period_s,
                         config.lane_threads);
   }
+  // Admission check: rs(k,m) needs k+m distinct holders among the nodes
+  // that are actually up when the file is written (t=0). Nodes crashing
+  // later degrade reads; nodes already down shrink the placement domain.
+  std::uint32_t alive0 = cluster.num_nodes();
+  for (const auto& crash : config.faults.crashes) {
+    if (crash.at <= 0.0) --alive0;
+  }
+  for (const auto& [node, time] : config.node_failures) {
+    if (time <= 0.0) --alive0;
+  }
+  config.storage.validate(alive0);
   const auto layout =
       make_layout(bench, scale, cluster.num_nodes(), config.block_size,
-                  config.replication, config.params.seed);
+                  config.replication, config.params.seed, config.storage);
   auto spec = to_job_spec(bench, scale);
   if (config.faults.has_am_faults()) {
     // AM-killable runs go through the restart loop: a crashed driver is

@@ -43,6 +43,10 @@ std::unique_ptr<mr::Scheduler> make_scheduler(SchedulerKind kind,
 struct RunConfig {
   MiB block_size = kDefaultBlockMiB;  ///< Stock split size (64 or 128 MB).
   std::uint32_t replication = 3;
+  /// Storage policy for the input file: default 3× replication, or
+  /// rs(k,m) erasure striping (`[storage]` in config files). Validated
+  /// against the nodes alive at t=0 before the layout is built.
+  hdfs::StoragePolicy storage;
   mr::SimParams params;  ///< params.seed controls the whole run.
   /// Failure injection: (node, time) pairs applied before the run starts.
   /// Legacy oracle-detected crashes; merged into `faults` by the driver.

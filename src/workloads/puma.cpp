@@ -72,12 +72,13 @@ mr::JobSpec to_job_spec(const Benchmark& bench, InputScale scale,
 
 hdfs::FileLayout make_layout(const Benchmark& bench, InputScale scale,
                              std::uint32_t num_nodes, MiB block_size,
-                             std::uint32_t replication, std::uint64_t seed) {
+                             std::uint32_t replication, std::uint64_t seed,
+                             hdfs::StoragePolicy storage) {
   Rng rng(seed);
   hdfs::NameNode namenode(num_nodes, hdfs::PlacementPolicy::kRandom,
                           rng.split());
   auto layout = namenode.create_file(bench.input(scale), block_size,
-                                     replication);
+                                     replication, kBlockUnitMiB, storage);
   if (bench.record_skew > 0.0) {
     // Lognormal(μ = -σ²/2, σ) has mean 1: skew redistributes cost between
     // BUs without changing the job's total work in expectation.

@@ -62,9 +62,11 @@ mr::JobSpec to_job_spec(const Benchmark& bench, InputScale scale,
 /// Creates the benchmark's input file layout on `num_nodes` nodes, with
 /// per-BU record costs drawn from the benchmark's skew model (lognormal
 /// with unit mean). Identical seed → identical layout and skew, so every
-/// scheduler in a comparison sees the same data.
+/// scheduler in a comparison sees the same data. `storage` selects the
+/// placement policy: default replication, or rs(k,m) striping.
 hdfs::FileLayout make_layout(const Benchmark& bench, InputScale scale,
                              std::uint32_t num_nodes, MiB block_size,
-                             std::uint32_t replication, std::uint64_t seed);
+                             std::uint32_t replication, std::uint64_t seed,
+                             hdfs::StoragePolicy storage = {});
 
 }  // namespace flexmr::workloads
