@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/profiler.hpp"
 #include "workloads/experiment.hpp"
 
 namespace flexmr::bench {
@@ -61,6 +63,11 @@ struct SweepResult {
   /// 1 means the wall clock is contention-free, pool-size means fully
   /// contended.
   OnlineStats pool_occupancy;
+  /// Peak RSS (KiB) sampled when this result's sweep finished — the
+  /// process high-water mark *as of that sweep*, so multi-sweep benches get
+  /// a per-series trajectory instead of one end-of-process number. RSS is
+  /// monotone, so a series can only implicate earlier-or-own allocations.
+  std::uint64_t peak_rss_kib = 0;
 };
 
 /// Peak resident set size of this process so far, in KiB (ru_maxrss is
@@ -155,7 +162,32 @@ inline std::vector<SweepResult> sweep(
     out.run_wall_clock.add(measured[i].run_wall_clock);
     out.pool_occupancy.add(measured[i].pool_occupancy);
   }
+  // Sample at sweep completion (not process exit) so each sweep's series
+  // carry the memory state their runs actually produced.
+  const std::uint64_t rss_now = peak_rss_kib();
+  for (auto& result : results) result.peak_rss_kib = rss_now;
   return results;
+}
+
+/// Activates the process-global self-profiler (idempotent; DESIGN.md §15).
+/// The profiler binds its scope stack to the calling thread, so call this
+/// from main before any simulation: sweep items running on pool workers
+/// contribute no scopes (by design — their stacks would interleave), while
+/// everything the main thread simulates is attributed.
+inline void enable_profiling() {
+  static obs::Profiler profiler;
+  if (obs::Profiler::active() == nullptr) {
+    obs::Profiler::activate(profiler);
+  }
+}
+
+/// True if FLEXMR_PROFILE is set to anything but "" or "0" — the
+/// environment opt-in every bench binary honors (CI uses it to collect
+/// PROFILE_*.json from the smoke grid without per-bench flags).
+inline bool profiling_requested_by_env() {
+  const char* env = std::getenv("FLEXMR_PROFILE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
 }
 
 /// The four comparison systems of Fig. 5 / Fig. 6.
@@ -185,7 +217,9 @@ class BenchArtifact {
   BenchArtifact(std::string figure, std::string title)
       : figure_(std::move(figure)),
         title_(std::move(title)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    if (profiling_requested_by_env()) enable_profiling();
+  }
 
   /// Records the seeds a section ran with (duplicates collapse).
   void record_seeds(const std::vector<std::uint64_t>& seeds) {
@@ -228,6 +262,10 @@ class BenchArtifact {
       if (result.run_wall_clock.count() > 0) {
         add_metric(series, "run_wall_clock_s", result.run_wall_clock);
         add_metric(series, "pool_occupancy", result.pool_occupancy);
+      }
+      if (result.peak_rss_kib > 0) {
+        add_metric(series, "peak_rss_kib",
+                   static_cast<double>(result.peak_rss_kib));
       }
     }
   }
@@ -279,19 +317,21 @@ class BenchArtifact {
     return writer.str();
   }
 
-  /// Writes BENCH_<figure>.json into the working directory.
+  /// Writes BENCH_<figure>.json into the working directory; when the
+  /// self-profiler is active, PROFILE_<figure>.json (flexmr.profile.v1)
+  /// lands next to it.
   void write() const {
     const std::string path = "BENCH_" + figure_ + ".json";
-    std::FILE* file = std::fopen(path.c_str(), "w");
-    if (file == nullptr) {
-      std::fprintf(stderr, "could not write %s\n", path.c_str());
-      return;
+    if (write_doc(path, json())) {
+      std::printf("wrote %s (%zu series)\n", path.c_str(), series_.size());
     }
-    const std::string doc = json();
-    std::fwrite(doc.data(), 1, doc.size(), file);
-    std::fputc('\n', file);
-    std::fclose(file);
-    std::printf("wrote %s (%zu series)\n", path.c_str(), series_.size());
+    if (const obs::Profiler* prof = obs::Profiler::active()) {
+      const std::string profile_path = "PROFILE_" + figure_ + ".json";
+      if (write_doc(profile_path, prof->json())) {
+        std::printf("wrote %s (%zu scopes)\n", profile_path.c_str(),
+                    prof->scopes().size());
+      }
+    }
   }
 
  private:
@@ -306,6 +346,18 @@ class BenchArtifact {
     std::string label;
     std::vector<std::pair<std::string, Summary>> metrics;
   };
+
+  static bool write_doc(const std::string& path, const std::string& doc) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    return true;
+  }
 
   void add(const std::string& series, const std::string& metric,
            Summary summary) {

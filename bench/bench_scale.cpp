@@ -20,6 +20,11 @@
 //                      SkewTune's per-offer candidate scan makes its
 //                      10000-node point ~10x the others' cost, so large
 //                      one-off measurements usually want to exclude it.
+//   --profile          activate the self-profiler (DESIGN.md §15): host
+//                      wall-clock attribution for dispatch / RM offers /
+//                      speculation scans / lane drains, written to
+//                      PROFILE_scale.json next to the bench artifact.
+//                      Setting FLEXMR_PROFILE=1 does the same.
 //   --lanes=a,b,c      after the grid, run a parallel_speedup series on the
 //                      largest cluster size: sharded engine at each lane
 //                      count × all four schedulers, measured one run at a
@@ -130,6 +135,8 @@ int main(int argc, char** argv) {
       lane_counts = parse_list(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--schedulers=", 13) == 0) {
       scheduler_filter = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      bench::enable_profiling();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;

@@ -23,10 +23,45 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
+void Logger::set_filter(std::string_view csv) {
+  std::vector<std::string> tags;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t end = csv.find(',', begin);
+    if (end == std::string_view::npos) end = csv.size();
+    std::string_view tag = csv.substr(begin, end - begin);
+    while (!tag.empty() && tag.front() == ' ') tag.remove_prefix(1);
+    while (!tag.empty() && tag.back() == ' ') tag.remove_suffix(1);
+    if (!tag.empty()) tags.emplace_back(tag);
+    begin = end + 1;
+  }
+  std::lock_guard lock(mutex_);
+  filter_ = std::move(tags);
+}
+
+bool Logger::passes_filter(std::string_view component) const {
+  std::lock_guard lock(mutex_);
+  if (filter_.empty()) return true;
+  for (const std::string& tag : filter_) {
+    if (component == tag) return true;
+  }
+  return false;
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
   std::lock_guard lock(mutex_);
-  std::fprintf(stderr, "[%-5s] %.*s: %.*s\n", level_name(level),
+  if (!filter_.empty()) {
+    bool pass = false;
+    for (const std::string& tag : filter_) {
+      if (component == tag) {
+        pass = true;
+        break;
+      }
+    }
+    if (!pass) return;
+  }
+  std::fprintf(stderr, "[%-5s] [%.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }

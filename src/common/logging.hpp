@@ -4,12 +4,19 @@
 // harnesses run many simulations on a thread pool, so log emission is
 // serialized with a mutex. Default level is Warn to keep bench output clean;
 // examples raise it to Info.
+//
+// The `component` passed to FLEXMR_LOG is a subsystem tag — `sim`, `sched`,
+// `hdfs`, `svc`, ... — printed bracketed on every line and matchable by the
+// CLIs' `--log-filter` knob, so profiler findings (DESIGN.md §15) can be
+// cross-referenced with the log stream of just that subsystem.
 #pragma once
 
 #include <atomic>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace flexmr {
 
@@ -31,13 +38,23 @@ class Logger {
     return level >= level_.load(std::memory_order_relaxed);
   }
 
+  /// Restricts output to the comma-separated subsystem tags in `csv`
+  /// (e.g. "sim,sched"); empty clears the filter (all subsystems pass).
+  /// Lines whose component is not in the set are dropped at write time —
+  /// the `enabled()` fast path stays a single atomic load.
+  void set_filter(std::string_view csv);
+
+  /// True if a line tagged `component` would pass the current filter.
+  bool passes_filter(std::string_view component) const;
+
   void write(LogLevel level, std::string_view component,
              std::string_view message);
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::Warn};
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> filter_;  ///< Empty = no filtering.
 };
 
 namespace detail {

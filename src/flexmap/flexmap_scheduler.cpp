@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace flexmr::flexmap {
@@ -34,6 +35,8 @@ void FlexMapScheduler::on_recovery(
 std::optional<mr::MapLaunch> FlexMapScheduler::on_slot_free(
     mr::DriverContext& ctx, NodeId node) {
   if (ctx.index().unprocessed() == 0) return std::nullopt;
+
+  FLEXMR_PROF_SCOPE("sched/flexmap_sizing");
 
   // Algorithm-1 sizing decision, traced with its inputs so a Perfetto
   // view can answer "why did this node get a task this size?".

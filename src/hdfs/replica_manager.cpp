@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace flexmr::hdfs {
@@ -199,6 +201,9 @@ NodeId ReplicaManager::pick_target(std::uint32_t block) const {
 
 void ReplicaManager::pump() {
   if (sim_ == nullptr) return;
+  // Covers target selection too (pick_target is an O(nodes) scan per
+  // queued block) — the NameNode's share of control time under faults.
+  FLEXMR_PROF_SCOPE("hdfs/replica_pump");
   while (!in_flight_ && !queue_.empty()) {
     const std::uint32_t block = queue_.front();
     queue_.pop_front();
@@ -228,6 +233,7 @@ void ReplicaManager::pump() {
 }
 
 void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
+  FLEXMR_PROF_SCOPE("hdfs/finish_copy");
   const bool erasure = layout_->storage.erasure();
   if (tracer_ != nullptr && in_flight_) {
     tracer_->complete({obs::kNameNodePid, 0},
@@ -242,6 +248,10 @@ void ReplicaManager::finish_copy(std::uint32_t block, NodeId target) {
                        {"mib", block_bytes_[block]}});
   }
   in_flight_.reset();
+  FLEXMR_LOG(Debug, "hdfs") << (erasure ? "reconstructed part of block "
+                                        : "re-replicated block ")
+                            << block << " to node " << target << " at t="
+                            << sim_->now();
   // Either way the pipeline read a full block's worth of bytes — but an
   // erasure pass restored only one part (block/k), the k× amplification.
   repair_read_mib_ += block_bytes_[block];

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "simcore/lane_set.hpp"
 
 namespace flexmr::mr {
@@ -1044,6 +1045,9 @@ void JobDriver::finish_job() {
 
 void JobDriver::heartbeat() {
   if (done_) return;
+  // The whole per-heartbeat control bundle: liveness scan, Eq. 3 sampling
+  // walk, per-node scheduler callbacks and the rm/offer_all re-offer.
+  FLEXMR_PROF_SCOPE("mr/heartbeat");
 
   // Liveness: NodeManager heartbeats arrive from every responsive node;
   // a node whose last heartbeat is older than the liveness timeout is
@@ -2019,6 +2023,7 @@ void JobDriver::on_speed_change(NodeId node) {
 }
 
 std::vector<RunningMapInfo> JobDriver::running_maps() const {
+  FLEXMR_PROF_SCOPE("mr/running_maps");
   // The hottest driver scan (the schedulers call this every offer and
   // every straggler probe). Each element is pure per-task computation —
   // RateIntegrator::done(now) is const and touches only that task — so
@@ -2271,6 +2276,31 @@ void JobDriver::trace_finish() {
                                      : "lane_drained/" + std::to_string(lane);
       tracer_->counter(trace_ns_.job_pid, name, sim_->now(),
                        static_cast<double>(drained[lane]));
+    }
+    // When a self-profiler is active, mirror its lane-imbalance summary
+    // into the trace so profiles and traces stay cross-navigable: host-ns
+    // busy time per lane plus the max/mean busy ratio. Same naming scheme
+    // as lane_drained, control lane last.
+    if (const obs::Profiler* prof = obs::Profiler::active()) {
+      const auto& lanes = prof->lanes();
+      std::uint64_t max_busy = 0;
+      std::uint64_t sum_busy = 0;
+      for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+        const std::string name =
+            lane == lanes.size() - 1
+                ? "lane_busy_host_ns/control"
+                : "lane_busy_host_ns/" + std::to_string(lane);
+        tracer_->counter(trace_ns_.job_pid, name, sim_->now(),
+                         static_cast<double>(lanes[lane].busy_ns));
+        max_busy = std::max(max_busy, lanes[lane].busy_ns);
+        sum_busy += lanes[lane].busy_ns;
+      }
+      if (!lanes.empty() && sum_busy > 0) {
+        const double mean = static_cast<double>(sum_busy) /
+                            static_cast<double>(lanes.size());
+        tracer_->counter(trace_ns_.job_pid, "lane_imbalance_max_over_mean",
+                         sim_->now(), static_cast<double>(max_busy) / mean);
+      }
     }
   }
   trace_end_phase();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "simcore/lane_set.hpp"
 
@@ -66,6 +68,9 @@ void SkewTuneScheduler::on_attempt_failed(
 }
 
 TaskId SkewTuneScheduler::find_straggler(mr::DriverContext& ctx) const {
+  // Runs on every idle offer once input drains — the worst O(nodes)
+  // control term on the 10k grid (~10× the others; see ROADMAP).
+  FLEXMR_PROF_SCOPE("sched/skewtune_argmax");
   const SimTime now = ctx.now();
   const auto running = ctx.running_maps();
   // Candidate scoring is pure per-element FP (no accumulation across
@@ -178,6 +183,9 @@ std::optional<mr::MapLaunch> SkewTuneScheduler::on_slot_free(
         remaining.begin() + static_cast<std::ptrdiff_t>(end));
   }
 
+  FLEXMR_LOG(Debug, "sched") << "skewtune repartition: straggler=" << straggler
+                             << " reclaimed_bus=" << remaining.size()
+                             << " helpers=" << helpers << " at t=" << ctx.now();
   if (obs::EventTracer* tracer = ctx.tracer()) {
     tracer->instant(
         {obs::node_pid(node), 0}, "skewtune-repartition", "sched", ctx.now(),

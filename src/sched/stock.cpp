@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "simcore/lane_set.hpp"
 
@@ -155,6 +157,9 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::launch_pending_block(
 
 std::optional<mr::MapLaunch> StockHadoopScheduler::late_speculate(
     mr::DriverContext& ctx, NodeId node) {
+  // LATE's candidate build walks every running map per offer — with the
+  // snapshot above it is the stock scheduler's O(nodes) control term.
+  FLEXMR_PROF_SCOPE("sched/late_speculate");
   const auto running = ctx.running_maps();
 
   // SpeculativeCap: bound concurrent speculative copies.
@@ -245,6 +250,10 @@ std::optional<mr::MapLaunch> StockHadoopScheduler::late_speculate(
   }
   if (!best) return std::nullopt;
 
+  FLEXMR_LOG(Debug, "sched") << "late speculate: victim=" << best->id
+                             << " rate=" << best->rate
+                             << " est_time_left_s=" << best->time_left
+                             << " at t=" << now;
   if (obs::EventTracer* tracer = ctx.tracer()) {
     tracer->instant({obs::node_pid(node), 0}, "late-speculate", "sched", now,
                     {{"victim", best->id},

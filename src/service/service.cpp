@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/logging.hpp"
 #include "obs/session.hpp"
 
 namespace flexmr::service {
@@ -184,6 +185,10 @@ void ClusterService::try_admit() {
     const TenantSpec& tenant = config_.tenants[job.tenant];
     records_[j].admitted = sim_->now();
     ++tenant_running_[job.tenant];
+    FLEXMR_LOG(Debug, "svc") << "admitted job #" << j << " (tenant "
+                             << tenant.name << ") at t=" << sim_->now()
+                             << ", queue=" << queue_.size()
+                             << ", active=" << active_.size() + 1;
 
     mr::JobSpec spec = workloads::to_job_spec(*job.bench, tenant.scale);
     spec.name += " #" + std::to_string(j) + " (" + tenant.name + ")";

@@ -1,11 +1,26 @@
 #include "simcore/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/logging.hpp"
+#include "obs/profiler.hpp"
 #include "simcore/lane_set.hpp"
 
 namespace flexmr {
+
+namespace {
+
+/// Nanoseconds elapsed since `t0` on the profiler's clock (0 if negative).
+std::uint64_t ns_since(obs::Profiler::Clock::time_point t0) {
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     obs::Profiler::Clock::now() - t0)
+                     .count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Sharded-engine state (DESIGN.md §13)
@@ -154,6 +169,7 @@ bool Simulator::cancel(EventId id) {
 }
 
 void Simulator::compact() {
+  FLEXMR_PROF_SCOPE("sim/compact");
   const auto dead = [this](const QueueEntry& entry) {
     return !pending(entry.id);
   };
@@ -189,6 +205,10 @@ void Simulator::compact() {
   }
   dead_in_queue_ = 0;
   ++counters_.compactions;
+  FLEXMR_LOG(Debug, "sim") << "compacted event queue at t=" << now_
+                           << " (live=" << live_count_
+                           << ", compactions=" << counters_.compactions
+                           << ")";
 }
 
 bool Simulator::step() {
@@ -210,7 +230,10 @@ bool Simulator::step() {
     FLEXMR_ASSERT(entry.time >= now_);
     now_ = entry.time;
     ++counters_.fired;
-    handler();
+    {
+      FLEXMR_PROF_SCOPE("sim/dispatch");
+      handler();
+    }
     return true;
   }
   return false;
@@ -233,10 +256,18 @@ bool Simulator::open_window() {
   s.window_end = t_min + s.lookahead;
   const SimTime window_end = s.window_end;
 
+  // Lane telemetry: the table is sized on the control thread before the
+  // fan-out; each lane slot is then written by exactly one drainer, and the
+  // LaneSet join publishes the writes back to this thread.
+  obs::Profiler* const prof = obs::Profiler::active();
+  if (prof != nullptr) prof->ensure_lanes(s.heaps.size());
+
   // Concurrent per-lane drain: pure POD heap work on lane-local storage —
   // no slot-table access, no shared mutation, so the lanes are trivially
   // race-free. Each run comes out sorted ascending (time, seq).
-  const auto drain_lane = [&s, window_end](std::size_t lane) {
+  const auto drain_lane = [&s, window_end, prof](std::size_t lane) {
+    const auto t0 = prof != nullptr ? obs::Profiler::Clock::now()
+                                    : obs::Profiler::Clock::time_point{};
     auto& heap = s.heaps[lane];
     auto& out = s.drained[lane];
     out.clear();
@@ -246,13 +277,24 @@ bool Simulator::open_window() {
       heap.pop_back();
     }
     s.lane_drained[lane] += out.size();
-  };
-  if (s.workers->workers() > 0 && s.entries >= ShardState::kParallelDrainMin) {
-    s.workers->run(s.heaps.size(), drain_lane);
-  } else {
-    for (std::size_t lane = 0; lane < s.heaps.size(); ++lane) {
-      drain_lane(lane);
+    if (prof != nullptr) {
+      prof->record_lane_drain(lane, ns_since(t0), out.size());
     }
+  };
+  std::uint64_t drain_wall_ns = 0;
+  {
+    FLEXMR_PROF_SCOPE("sim/window_drain");
+    const auto t0 = prof != nullptr ? obs::Profiler::Clock::now()
+                                    : obs::Profiler::Clock::time_point{};
+    if (s.workers->workers() > 0 &&
+        s.entries >= ShardState::kParallelDrainMin) {
+      s.workers->run(s.heaps.size(), drain_lane);
+    } else {
+      for (std::size_t lane = 0; lane < s.heaps.size(); ++lane) {
+        drain_lane(lane);
+      }
+    }
+    if (prof != nullptr) drain_wall_ns = ns_since(t0);
   }
 
   // Serial merge of the sorted runs into the fire batch. The merge key is
@@ -260,24 +302,32 @@ bool Simulator::open_window() {
   // normative cross-lane merge order: lane identity never participates,
   // which is what keeps shared-state handlers (scheduler, RM, one RNG
   // stream) byte-identical to the single-heap engine.
-  s.batch.clear();
-  s.batch_pos = 0;
-  std::size_t total = 0;
-  for (const auto& run : s.drained) total += run.size();
-  s.batch.reserve(total);
-  std::vector<std::size_t> cursor(s.drained.size(), 0);
-  for (std::size_t taken = 0; taken < total; ++taken) {
-    std::size_t best_lane = s.drained.size();
-    for (std::size_t lane = 0; lane < s.drained.size(); ++lane) {
-      if (cursor[lane] >= s.drained[lane].size()) continue;
-      if (best_lane == s.drained.size() ||
-          s.drained[best_lane][cursor[best_lane]] >
-              s.drained[lane][cursor[lane]]) {
-        best_lane = lane;
+  std::uint64_t merge_ns = 0;
+  {
+    FLEXMR_PROF_SCOPE("sim/window_merge");
+    const auto t0 = prof != nullptr ? obs::Profiler::Clock::now()
+                                    : obs::Profiler::Clock::time_point{};
+    s.batch.clear();
+    s.batch_pos = 0;
+    std::size_t total = 0;
+    for (const auto& run : s.drained) total += run.size();
+    s.batch.reserve(total);
+    std::vector<std::size_t> cursor(s.drained.size(), 0);
+    for (std::size_t taken = 0; taken < total; ++taken) {
+      std::size_t best_lane = s.drained.size();
+      for (std::size_t lane = 0; lane < s.drained.size(); ++lane) {
+        if (cursor[lane] >= s.drained[lane].size()) continue;
+        if (best_lane == s.drained.size() ||
+            s.drained[best_lane][cursor[best_lane]] >
+                s.drained[lane][cursor[lane]]) {
+          best_lane = lane;
+        }
       }
+      s.batch.push_back(s.drained[best_lane][cursor[best_lane]++]);
     }
-    s.batch.push_back(s.drained[best_lane][cursor[best_lane]++]);
+    if (prof != nullptr) merge_ns = ns_since(t0);
   }
+  if (prof != nullptr) prof->record_window(drain_wall_ns, merge_ns);
   s.window_open = true;
   ++s.windows;
   s.max_batch = std::max<std::uint64_t>(s.max_batch, s.batch.size());
@@ -318,7 +368,10 @@ bool Simulator::step_sharded() {
       FLEXMR_ASSERT(entry.time >= now_);
       now_ = entry.time;
       ++counters_.fired;
-      handler();
+      {
+        FLEXMR_PROF_SCOPE("sim/dispatch");
+        handler();
+      }
       return true;
     }
     // Window exhausted: close it and open the next one.

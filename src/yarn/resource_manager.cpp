@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "simcore/lane_set.hpp"
 
 namespace flexmr::yarn {
@@ -63,6 +64,7 @@ void ResourceManager::offer_node(NodeId node) {
   FLEXMR_ASSERT_MSG(!LaneSet::on_worker(),
                     "RM offer from a lane worker (control-lane only)");
   if (!handler_ || offering_ || dead_[node]) return;
+  FLEXMR_PROF_SCOPE("rm/offer_node");
   offering_ = true;
   while (free_[node] > 0 && handler_(node)) {
     --free_[node];
@@ -75,6 +77,9 @@ void ResourceManager::offer_all() {
   FLEXMR_ASSERT_MSG(!LaneSet::on_worker(),
                     "RM offer from a lane worker (control-lane only)");
   if (!handler_ || offering_) return;
+  // This walk is the O(nodes) per-heartbeat control term the 10k grid
+  // exposed (ROADMAP): attribute it even when no slot is granted.
+  FLEXMR_PROF_SCOPE("rm/offer_all");
   offering_ = true;
   // Walk alive nodes in ascending id order (identical to the historical
   // full scan). Index-based: a handler cascade may append work but never

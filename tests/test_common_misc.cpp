@@ -60,5 +60,21 @@ TEST(Logging, MacroCompilesAndRespectsLevel) {
   logger.set_level(before);
 }
 
+TEST(Logging, SubsystemFilterSelectsTags) {
+  auto& logger = Logger::instance();
+  // Empty filter (the default) passes every subsystem tag.
+  logger.set_filter("");
+  EXPECT_TRUE(logger.passes_filter("sim"));
+  EXPECT_TRUE(logger.passes_filter("anything"));
+  // CSV filter with stray spaces: only the named tags pass.
+  logger.set_filter(" sim, hdfs ");
+  EXPECT_TRUE(logger.passes_filter("sim"));
+  EXPECT_TRUE(logger.passes_filter("hdfs"));
+  EXPECT_FALSE(logger.passes_filter("sched"));
+  EXPECT_FALSE(logger.passes_filter("svc"));
+  EXPECT_FALSE(logger.passes_filter("simx"));  // exact match, not prefix
+  logger.set_filter("");
+}
+
 }  // namespace
 }  // namespace flexmr

@@ -171,6 +171,67 @@ TEST(Metrics, LogHistogramZeroAndTiny) {
   EXPECT_GE(h.percentile(0.99), h.percentile(0.01));
 }
 
+TEST(Metrics, LogHistogramEmptyPercentileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Metrics, LogHistogramSingleSampleIsExactEverywhere) {
+  LogHistogram h;
+  h.record(5.0);
+  // The bucket midpoint is clamped to the observed [min, max], which for a
+  // single sample collapses every percentile to the sample itself.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Metrics, LogHistogramBucketBoundaryStraddle) {
+  // Two populations in *adjacent* buckets: the quantile walk must land in
+  // the first bucket for low q and the second for high q, with the clamp
+  // keeping both estimates inside the observed range.
+  const double lo_v = 1e-5;
+  const double hi_v = 1.2e-5;
+  ASSERT_EQ(LogHistogram::bucket_index(lo_v) + 1,
+            LogHistogram::bucket_index(hi_v));
+  LogHistogram h;
+  h.record(lo_v);
+  h.record(lo_v);
+  h.record(lo_v);
+  h.record(hi_v);
+  const double p50 = h.percentile(0.5);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, lo_v);
+  EXPECT_LT(p50, p99);
+  // q=0.99 targets the fourth sample: the high bucket, whose geometric
+  // midpoint exceeds max() and clamps to it exactly.
+  EXPECT_DOUBLE_EQ(p99, hi_v);
+}
+
+TEST(Metrics, LogHistogramTopBucketOverflow) {
+  // Values beyond the last bucket bound all collapse into the top bucket;
+  // percentiles stay finite and clamped to the observed range.
+  ASSERT_EQ(LogHistogram::bucket_index(1e30), LogHistogram::kNumBuckets - 1);
+  ASSERT_EQ(LogHistogram::bucket_index(2e30), LogHistogram::kNumBuckets - 1);
+  LogHistogram h;
+  h.record(1e30);
+  h.record(2e30);
+  EXPECT_DOUBLE_EQ(h.min(), 1e30);
+  EXPECT_DOUBLE_EQ(h.max(), 2e30);
+  // Both samples share the top bucket whose nominal midpoint is far below
+  // the recorded values; the clamp pins the estimate to min().
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1e30);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2e30);
+}
+
 TEST(Session, TraceJsonShell) {
   TraceSession session;
   session.set_metadata("scheduler", "FlexMap");

@@ -10,6 +10,8 @@
 //   --out DIR    output directory (default ".")
 //   --trace      also record the merged trace + metrics time series
 //   --cadence S  metrics sampling cadence in sim seconds (default 1.0)
+//   --log-filter TAGS  Debug logging for the named subsystem tags only
+//                (comma-separated, e.g. svc,sched)
 //
 // The config format is documented in src/service/config.hpp; see
 // examples/service.ini for a walkthrough.
@@ -17,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/logging.hpp"
 #include "obs/session.hpp"
 #include "service/config.hpp"
 #include "service/service.hpp"
@@ -35,6 +38,7 @@ struct Cli {
   std::string out_dir = ".";
   bool trace = false;
   double cadence_s = 1.0;
+  std::string log_filter;  // subsystem tags, e.g. "svc,sched"; empty = off
 };
 
 Cli parse_cli(int argc, char** argv) {
@@ -53,10 +57,14 @@ Cli parse_cli(int argc, char** argv) {
       cli.trace = true;
     } else if (arg == "--cadence") {
       cli.cadence_s = std::stod(next());
+    } else if (arg == "--log-filter") {
+      cli.log_filter = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: flexmr-service [config.ini] [--out DIR] [--trace] "
-          "[--cadence S]\n");
+          "[--cadence S] [--log-filter TAGS]\n"
+          "  --log-filter TAGS  raise logging to Debug for the named\n"
+          "                     subsystem tags only (e.g. svc,sched)\n");
       std::exit(0);
     } else if (!arg.empty() && arg[0] == '-') {
       throw flexmr::ConfigError("unknown option: " + arg);
@@ -73,6 +81,10 @@ int main(int argc, char** argv) {
   using namespace flexmr;
   try {
     const Cli cli = parse_cli(argc, argv);
+    if (!cli.log_filter.empty()) {
+      Logger::instance().set_filter(cli.log_filter);
+      Logger::instance().set_level(LogLevel::Debug);
+    }
     const Config config = cli.config_path.empty()
                               ? Config::parse(service::demo_config())
                               : Config::load(cli.config_path);

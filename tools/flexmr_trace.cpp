@@ -33,6 +33,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/config.hpp"
+#include "common/logging.hpp"
 #include "mr/trace.hpp"
 #include "obs/session.hpp"
 #include "workloads/experiment.hpp"
@@ -128,6 +129,7 @@ struct Cli {
   bool replay = false;
   double cadence_s = 1.0;
   bool per_node_gauges = true;
+  std::string log_filter;  // subsystem tags, e.g. "sim,sched"; empty = off
 };
 
 Cli parse_cli(int argc, char** argv) {
@@ -148,10 +150,14 @@ Cli parse_cli(int argc, char** argv) {
       cli.cadence_s = std::stod(next());
     } else if (arg == "--no-node-gauges") {
       cli.per_node_gauges = false;
+    } else if (arg == "--log-filter") {
+      cli.log_filter = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: flexmr-trace [config.ini] [--out DIR] [--replay] "
-          "[--cadence S] [--no-node-gauges]\n");
+          "[--cadence S] [--no-node-gauges] [--log-filter TAGS]\n"
+          "  --log-filter TAGS  raise logging to Debug for the named\n"
+          "                     subsystem tags only (e.g. sim,sched,hdfs)\n");
       std::exit(0);
     } else if (!arg.empty() && arg[0] == '-') {
       throw flexmr::ConfigError("unknown option: " + arg);
@@ -168,6 +174,10 @@ int main(int argc, char** argv) {
   using namespace flexmr;
   try {
     const Cli cli = parse_cli(argc, argv);
+    if (!cli.log_filter.empty()) {
+      Logger::instance().set_filter(cli.log_filter);
+      Logger::instance().set_level(LogLevel::Debug);
+    }
     const Config config = cli.config_path.empty()
                               ? Config::parse(kDemoConfig)
                               : Config::load(cli.config_path);
